@@ -1,0 +1,596 @@
+// Benchmarks regenerating the paper's tables and figures under `go test
+// -bench`. Two kinds of numbers appear:
+//
+//   - wall-clock benchmarks (Table 1's measured rows): ns/op is the
+//     result;
+//   - simulation benchmarks: ns/op measures simulator throughput, and the
+//     paper-comparable number — virtual latency — is attached as the
+//     custom metric "sim-ns/op" via b.ReportMetric.
+//
+// The experiment binary (cmd/pcsi-bench) prints the same data as tables
+// with paper-vs-measured columns; EXPERIMENTS.md records both.
+package repro_test
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/dynamo"
+	"repro/internal/nfsbase"
+	"repro/internal/object"
+	"repro/internal/restbase"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/wire"
+	"repro/pcsi"
+)
+
+// --- Table 1 (E1): measured rows ---
+
+func BenchmarkTable1_MarshalJSON1K(b *testing.B) {
+	codec := wire.JSONCodec{}
+	msg := &wire.Message{Op: "GetObject", Key: "bucket/key", Auth: "token", Body: make([]byte, 1024)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := codec.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_MarshalBinary1K(b *testing.B) {
+	codec := wire.BinaryCodec{}
+	msg := &wire.Message{Op: "GetObject", Key: "bucket/key", Auth: "token", Body: make([]byte, 1024)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := codec.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_HTTPLoopback(b *testing.B) {
+	srv, err := restbase.NewLoopbackHTTP(make([]byte, 1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_SocketRoundTrip(b *testing.B) {
+	srv, err := restbase.NewLoopbackTCP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	payload := make([]byte, 64)
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.RoundTrip(payload, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_SocketDialPerRequest(b *testing.B) {
+	srv, err := restbase.NewLoopbackTCP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	payload := make([]byte, 64)
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.DialRoundTrip(payload, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Syscall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = syscall.Getpid()
+	}
+}
+
+func BenchmarkTable1_IndirectCall(b *testing.B) {
+	f := func(x int) int { return x + 1 }
+	fp := &f
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink = (*fp)(sink)
+	}
+	_ = sink
+}
+
+// --- §2.1 (E2): 1KB fetch, NFS vs DynamoDB ---
+
+func BenchmarkFetch1KB_NFS(b *testing.B) {
+	env := sim.NewEnv(1)
+	net := simnet.New(env, simnet.DC2021)
+	srv := nfsbase.NewServer(net, store.Disk)
+	if err := srv.Export("obj", make([]byte, 1024)); err != nil {
+		b.Fatal(err)
+	}
+	client := net.AddNode(1)
+	var simTotal time.Duration
+	n := b.N
+	env.Go("bench", func(p *sim.Proc) {
+		m, err := srv.Mount(p, client)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		h, err := m.Lookup(p, "obj")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if _, err := m.Read(p, h, 0, 1024); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		simTotal = p.Now().Sub(start)
+	})
+	b.ResetTimer()
+	env.Run()
+	b.ReportMetric(float64(simTotal.Nanoseconds())/float64(n), "sim-ns/op")
+}
+
+func BenchmarkFetch1KB_DynamoDB(b *testing.B) {
+	env := sim.NewEnv(1)
+	net := simnet.New(env, simnet.DC2021)
+	tbl := dynamo.New(net, 3, store.Disk)
+	client := net.AddNode(2)
+	var simTotal time.Duration
+	n := b.N
+	env.Go("bench", func(p *sim.Proc) {
+		if err := tbl.PutItem(p, client, "tok", "obj", make([]byte, 1024)); err != nil {
+			b.Error(err)
+			return
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if _, err := tbl.GetItem(p, client, "tok", "obj", true); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		simTotal = p.Now().Sub(start)
+	})
+	b.ResetTimer()
+	env.Run()
+	b.ReportMetric(float64(simTotal.Nanoseconds())/float64(n), "sim-ns/op")
+}
+
+// --- Figure 1 (E3): mutability-gated operations ---
+
+func BenchmarkMutability_TransitionCheck(b *testing.B) {
+	levels := object.Levels()
+	ok := 0
+	for i := 0; i < b.N; i++ {
+		if levels[i%4].CanTransition(levels[(i+1)%4]) {
+			ok++
+		}
+	}
+	_ = ok
+}
+
+func BenchmarkMutability_AppendOnlyWrite(b *testing.B) {
+	o := object.New(1, object.Regular)
+	if err := o.SetMutability(object.AppendOnly); err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := o.Append(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 2 / §4.1 (E4): pipeline placement ---
+
+func benchPipeline(b *testing.B, policy core.PlacementPolicy) {
+	opts := pcsi.DefaultOptions()
+	opts.Policy = policy
+	cloud := pcsi.New(opts)
+	client := cloud.NewClient(0)
+	n := b.N
+	if n > 200 {
+		n = 200 // each iteration is a full 3-stage pipeline
+	}
+	var simTotal time.Duration
+	cloud.Env().Go("bench", func(p *pcsi.Proc) {
+		weights, err := client.Create(p, pcsi.Regular)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if err := client.Put(p, weights, make([]byte, 1<<16)); err != nil {
+			b.Error(err)
+			return
+		}
+		if err := client.Freeze(p, weights, pcsi.Immutable); err != nil {
+			b.Error(err)
+			return
+		}
+		pre, err := client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "pre", Kind: pcsi.PlatformWasm,
+			Handler: func(fc *pcsi.FnCtx) error {
+				fc.Proc().Sleep(2 * time.Millisecond)
+				return fc.Client.Put(fc.Proc(), fc.Outputs[0], make([]byte, 8<<20))
+			},
+		})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		infer, err := client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "infer", Kind: pcsi.PlatformGPU,
+			Handler: func(fc *pcsi.FnCtx) error {
+				if dev := fc.Device(); dev != nil {
+					fc.Proc().Sleep(dev.Ensure("weights", 50<<20))
+				}
+				if _, err := fc.Client.Get(fc.Proc(), fc.Inputs[0]); err != nil {
+					return err
+				}
+				fc.Proc().Sleep(5 * time.Millisecond)
+				return fc.Client.Put(fc.Proc(), fc.Outputs[0], make([]byte, 1024))
+			},
+		})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		post, err := client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "post", Kind: pcsi.PlatformWasm,
+			Handler: func(fc *pcsi.FnCtx) error {
+				_, err := fc.Client.Get(fc.Proc(), fc.Inputs[0])
+				return err
+			},
+		})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		var start pcsi.Time
+		for i := -1; i < n; i++ { // iteration -1 is warm-up (cold starts)
+			if i == 0 {
+				start = p.Now()
+			}
+			upload, err := client.Create(p, pcsi.Regular, pcsi.WithEphemeral())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			result, err := client.Create(p, pcsi.Regular, pcsi.WithEphemeral())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := client.RunGraph(p, []pcsi.GraphTask{
+				{Name: "pre", Fn: pre, Outputs: []pcsi.Ref{upload}, PreferGPUNode: policy == core.PlaceColocate},
+				{Name: "infer", Fn: infer, After: []string{"pre"}, Colocate: true,
+					Inputs: []pcsi.Ref{upload}, Outputs: []pcsi.Ref{result}},
+				{Name: "post", Fn: post, After: []string{"infer"}, Colocate: true,
+					Inputs: []pcsi.Ref{result}},
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+			client.Drop(upload)
+			client.Drop(result)
+		}
+		simTotal = p.Now().Sub(start)
+	})
+	b.ResetTimer()
+	cloud.Env().Run()
+	b.ReportMetric(float64(simTotal.Nanoseconds())/float64(n), "sim-ns/op")
+	b.ReportMetric(float64(cloud.BytesMoved)/float64(n), "net-bytes/op")
+}
+
+func BenchmarkPipeline_Naive(b *testing.B)    { benchPipeline(b, core.PlaceNaive) }
+func BenchmarkPipeline_Colocate(b *testing.B) { benchPipeline(b, core.PlaceColocate) }
+
+// --- §3.3/§4.3 (E6): the consistency menu ---
+
+func benchConsistency(b *testing.B, lvl consistency.Level, write bool) {
+	env := sim.NewEnv(1)
+	net := simnet.New(env, simnet.DC2021)
+	var nodes []simnet.NodeID
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, net.AddNode(i))
+	}
+	grp := consistency.NewGroup(env, net, nodes, store.NVMe)
+	client := net.AddNode(0)
+	payload := make([]byte, 4096)
+	var simTotal time.Duration
+	n := b.N
+	env.Go("bench", func(p *sim.Proc) {
+		id, err := grp.Create(p, client, object.Regular)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		p.Sleep(50 * time.Millisecond)
+		if err := grp.Apply(p, client, id, consistency.Linearizable, len(payload), func(o *object.Object) error {
+			return o.SetData(payload)
+		}); err != nil {
+			b.Error(err)
+			return
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if write {
+				err = grp.Apply(p, client, id, lvl, len(payload), func(o *object.Object) error {
+					return o.SetData(payload)
+				})
+			} else {
+				_, err = grp.Read(p, client, id, lvl)
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		simTotal = p.Now().Sub(start)
+	})
+	b.ResetTimer()
+	env.Run()
+	b.ReportMetric(float64(simTotal.Nanoseconds())/float64(n), "sim-ns/op")
+}
+
+func BenchmarkConsistency_LinearizableWrite(b *testing.B) {
+	benchConsistency(b, consistency.Linearizable, true)
+}
+func BenchmarkConsistency_EventualWrite(b *testing.B) {
+	benchConsistency(b, consistency.Eventual, true)
+}
+func BenchmarkConsistency_LinearizableRead(b *testing.B) {
+	benchConsistency(b, consistency.Linearizable, false)
+}
+func BenchmarkConsistency_EventualRead(b *testing.B) {
+	benchConsistency(b, consistency.Eventual, false)
+}
+
+// --- §2.1 (E7): granularity sweep, REST vs PCSI on the fast network ---
+
+func benchGranularityREST(b *testing.B, size int) {
+	env := sim.NewEnv(1)
+	net := simnet.New(env, simnet.FastNet)
+	var nodes []simnet.NodeID
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, net.AddNode(i))
+	}
+	grp := consistency.NewGroup(env, net, nodes, store.DRAM)
+	cfg := restbase.DefaultConfig()
+	cfg.RawBody = true
+	gw := restbase.NewGateway(net, grp, cfg)
+	client := net.AddNode(0)
+	var simTotal time.Duration
+	n := b.N
+	env.Go("bench", func(p *sim.Proc) {
+		id, err := gw.Create(p, client, "tok", object.Regular)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if err := gw.Put(p, client, "tok", id, make([]byte, size), consistency.Eventual); err != nil {
+			b.Error(err)
+			return
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if _, err := gw.Get(p, client, "tok", id, consistency.Eventual); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		simTotal = p.Now().Sub(start)
+	})
+	b.ResetTimer()
+	env.Run()
+	b.ReportMetric(float64(simTotal.Nanoseconds())/float64(n), "sim-ns/op")
+}
+
+func benchGranularityPCSI(b *testing.B, size int) {
+	opts := pcsi.DefaultOptions()
+	opts.NetProfile = simnet.FastNet
+	opts.Media = store.DRAM
+	cloud := pcsi.New(opts)
+	client := cloud.NewClient(0)
+	var simTotal time.Duration
+	n := b.N
+	cloud.Env().Go("bench", func(p *pcsi.Proc) {
+		ref, err := client.Create(p, pcsi.Regular, pcsi.WithConsistency(pcsi.Eventual))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if err := client.Put(p, ref, make([]byte, size)); err != nil {
+			b.Error(err)
+			return
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if _, err := client.GetAt(p, ref, pcsi.Eventual); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		simTotal = p.Now().Sub(start)
+	})
+	b.ResetTimer()
+	cloud.Env().Run()
+	b.ReportMetric(float64(simTotal.Nanoseconds())/float64(n), "sim-ns/op")
+}
+
+func BenchmarkGranularity_REST_64B(b *testing.B)  { benchGranularityREST(b, 64) }
+func BenchmarkGranularity_REST_64KB(b *testing.B) { benchGranularityREST(b, 64<<10) }
+func BenchmarkGranularity_REST_4MB(b *testing.B)  { benchGranularityREST(b, 4<<20) }
+func BenchmarkGranularity_PCSI_64B(b *testing.B)  { benchGranularityPCSI(b, 64) }
+func BenchmarkGranularity_PCSI_64KB(b *testing.B) { benchGranularityPCSI(b, 64<<10) }
+func BenchmarkGranularity_PCSI_4MB(b *testing.B)  { benchGranularityPCSI(b, 4<<20) }
+
+// --- §3.2 (E8): authorisation paths ---
+
+func BenchmarkAuth_CapabilityCheck(b *testing.B) {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	client := cloud.NewClient(0)
+	var ref pcsi.Ref
+	cloud.Env().Go("setup", func(p *pcsi.Proc) {
+		var err error
+		ref, err = client.Create(p, pcsi.Regular)
+		if err != nil {
+			b.Error(err)
+		}
+	})
+	cloud.Env().Run()
+	caps := cloud.Caps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The raw capability validation the PCSI data path performs.
+		_ = caps.Checks
+		_ = ref.Rights()
+	}
+}
+
+// --- E9/E5: scheduling and autoscale throughput of the simulator ---
+
+func BenchmarkSimulator_InvokeThroughput(b *testing.B) {
+	opts := pcsi.DefaultOptions()
+	opts.Media = store.DRAM
+	cloud := pcsi.New(opts)
+	client := cloud.NewClient(0)
+	n := b.N
+	cloud.Env().Go("bench", func(p *pcsi.Proc) {
+		fn, err := client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "noop", Kind: pcsi.PlatformWasm,
+			Handler: func(fc *pcsi.FnCtx) error { return nil },
+		})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if _, err := client.Invoke(p, fn, pcsi.InvokeArgs{}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	cloud.Env().Run()
+}
+
+// --- E10: GC throughput ---
+
+func BenchmarkGC_MarkSweep(b *testing.B) {
+	opts := pcsi.DefaultOptions()
+	opts.Media = store.DRAM
+	cloud := pcsi.New(opts)
+	client := cloud.NewClient(0)
+	var refs []pcsi.Ref
+	cloud.Env().Go("setup", func(p *pcsi.Proc) {
+		for i := 0; i < 500; i++ {
+			ref, err := client.Create(p, pcsi.Regular)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			refs = append(refs, ref)
+		}
+	})
+	cloud.Env().Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cloud.Collect() // everything reachable: pure mark cost
+	}
+	b.StopTimer()
+	if len(refs) == 0 {
+		b.Fatal("setup failed")
+	}
+}
+
+// BenchmarkSimEngine measures raw event throughput of the DES core.
+func BenchmarkSimEngine_EventDispatch(b *testing.B) {
+	env := sim.NewEnv(1)
+	n := b.N
+	env.Go("ticker", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// --- §3.1 (E12): variant optimizer ---
+
+func benchVariantGoal(b *testing.B, goal pcsi.Goal) {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	client := cloud.NewClient(0)
+	n := b.N
+	if n > 500 {
+		n = 500
+	}
+	var simTotal time.Duration
+	cloud.Env().Go("bench", func(p *pcsi.Proc) {
+		fn, err := client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "transcode", Kind: pcsi.PlatformWasm,
+			TypicalExec: 200 * time.Millisecond,
+			Variants: []pcsi.Variant{
+				{Name: "wasm", Kind: pcsi.PlatformWasm, Res: pcsi.Resources{MilliCPU: 1000, MemMB: 256}, SpeedFactor: 1},
+				{Name: "gpu", Kind: pcsi.PlatformGPU, Res: pcsi.Resources{GPUs: 1}, SpeedFactor: 5},
+			},
+			Handler: func(fc *pcsi.FnCtx) error {
+				fc.Proc().Sleep(fc.Inv.Scale(200 * time.Millisecond))
+				return nil
+			},
+		})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			if _, err := client.Invoke(p, fn, pcsi.InvokeArgs{Goal: goal}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		simTotal = p.Now().Sub(start)
+	})
+	b.ResetTimer()
+	cloud.Env().Run()
+	b.ReportMetric(float64(simTotal.Nanoseconds())/float64(n), "sim-ns/op")
+	b.ReportMetric(float64(cloud.Runtime().Meter.Total())*1e6/float64(n), "usd-per-Mop")
+}
+
+func BenchmarkVariants_GoalCost(b *testing.B)    { benchVariantGoal(b, pcsi.GoalCost) }
+func BenchmarkVariants_GoalLatency(b *testing.B) { benchVariantGoal(b, pcsi.GoalLatency) }

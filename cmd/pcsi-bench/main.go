@@ -1,0 +1,74 @@
+// Command pcsi-bench regenerates every quantitative artifact of "The
+// RESTless Cloud" (HotOS '21): Table 1, the §2.1 NFS/DynamoDB comparison,
+// Figure 1, Figure 2's model-serving pipeline, and the measurable claims
+// of §3–4. Each experiment prints its tables and a list of shape checks
+// (who wins, by roughly what factor).
+//
+// Usage:
+//
+//	pcsi-bench               # run everything
+//	pcsi-bench -run E2,E4    # run selected experiments
+//	pcsi-bench -list         # list experiments
+//	pcsi-bench -seed 7       # change the simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed    = flag.Int64("seed", 1, "simulation seed (same seed ⇒ identical tables)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	selected := all
+	if *runList != "" {
+		want := make(map[string]bool)
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		selected = selected[:0]
+		for _, e := range all {
+			if want[e.ID] {
+				selected = append(selected, e)
+				delete(want, e.ID)
+			}
+		}
+		if len(want) > 0 {
+			for id := range want {
+				fmt.Fprintf(os.Stderr, "pcsi-bench: unknown experiment %q (try -list)\n", id)
+			}
+			os.Exit(2)
+		}
+	}
+
+	failures := 0
+	for _, e := range selected {
+		rep := e.Run(*seed)
+		rep.Render(os.Stdout)
+		if !rep.Passed() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "pcsi-bench: %d experiment(s) had failing shape checks\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments reproduced their paper shapes\n", len(selected))
+}

@@ -1,0 +1,231 @@
+// Command pcsictl is the CLI client for pcsid.
+//
+// Usage:
+//
+//	pcsictl [-addr host:port] <command> [args...]
+//
+// Commands:
+//
+//	create <kind> [consistency] [mutability]   mint an object, print its token
+//	create-ephemeral <kind>                    node-local object
+//	put <token> <data>                         write payload (or - for stdin)
+//	get <token>                                print payload
+//	append <token> <data>                      append payload
+//	freeze <token> <level>                     MUTABLE|APPEND_ONLY|FIXED_SIZE|IMMUTABLE
+//	stat <token>                               print metadata
+//	attenuate <token> <rights>                 e.g. read|write
+//	drop <token>                               release the reference
+//	mkns                                       create a namespace
+//	createat <ns> <path> <kind>                create at path
+//	open <ns> <path> <rights>                  resolve path to a token
+//	ls <ns> [path]                             list entries
+//	rm <ns> <path>                             remove entry
+//	invoke <fn> [-i tok,...] [-o tok,...] [body]
+//	stats                                      deployment counters
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/pcsinet"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pcsictl [-addr host:port] <command> [args...]; see package docs")
+	os.Exit(2)
+}
+
+func main() {
+	args := os.Args[1:]
+	addr := "127.0.0.1:7433"
+	if len(args) >= 2 && args[0] == "-addr" {
+		addr = args[1]
+		args = args[2:]
+	}
+	if len(args) == 0 {
+		usage()
+	}
+	cl, err := pcsinet.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "create", "create-ephemeral":
+		kind := "regular"
+		lvl, mut := "", ""
+		if len(rest) > 0 {
+			kind = rest[0]
+		}
+		if len(rest) > 1 {
+			lvl = rest[1]
+		}
+		if len(rest) > 2 {
+			mut = rest[2]
+		}
+		tok, err := cl.Create(kind, lvl, mut, cmd == "create-ephemeral")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tok)
+	case "put", "append":
+		if len(rest) < 2 {
+			usage()
+		}
+		data := []byte(rest[1])
+		if rest[1] == "-" {
+			data, err = io.ReadAll(os.Stdin)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if cmd == "put" {
+			err = cl.Put(rest[0], data)
+		} else {
+			err = cl.Append(rest[0], data)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	case "get":
+		if len(rest) < 1 {
+			usage()
+		}
+		data, err := cl.Get(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data) //nolint:errcheck
+		fmt.Println()
+	case "freeze":
+		if len(rest) < 2 {
+			usage()
+		}
+		if err := cl.Freeze(rest[0], rest[1]); err != nil {
+			fatal(err)
+		}
+	case "stat":
+		if len(rest) < 1 {
+			usage()
+		}
+		info, err := cl.Stat(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range []string{"kind", "size", "version", "mutability"} {
+			fmt.Printf("%-10s %s\n", k, info[k])
+		}
+	case "attenuate":
+		if len(rest) < 2 {
+			usage()
+		}
+		tok, err := cl.Attenuate(rest[0], rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tok)
+	case "drop":
+		if len(rest) < 1 {
+			usage()
+		}
+		if err := cl.Drop(rest[0]); err != nil {
+			fatal(err)
+		}
+	case "mkns":
+		ns, root, err := cl.NewNamespace()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("namespace %s\nroot      %s\n", ns, root)
+	case "createat":
+		if len(rest) < 3 {
+			usage()
+		}
+		tok, err := cl.CreateAt(rest[0], rest[1], rest[2])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tok)
+	case "open":
+		if len(rest) < 3 {
+			usage()
+		}
+		tok, err := cl.Open(rest[0], rest[1], rest[2])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tok)
+	case "ls":
+		if len(rest) < 1 {
+			usage()
+		}
+		path := ""
+		if len(rest) > 1 {
+			path = rest[1]
+		}
+		names, err := cl.List(rest[0], path)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "rm":
+		if len(rest) < 2 {
+			usage()
+		}
+		if err := cl.Remove(rest[0], rest[1]); err != nil {
+			fatal(err)
+		}
+	case "invoke":
+		if len(rest) < 1 {
+			usage()
+		}
+		fn := rest[0]
+		rest = rest[1:]
+		var inputs, outputs []string
+		var body []byte
+		for len(rest) > 0 {
+			switch rest[0] {
+			case "-i":
+				if len(rest) < 2 {
+					usage()
+				}
+				inputs = strings.Split(rest[1], ",")
+				rest = rest[2:]
+			case "-o":
+				if len(rest) < 2 {
+					usage()
+				}
+				outputs = strings.Split(rest[1], ",")
+				rest = rest[2:]
+			default:
+				body = []byte(rest[0])
+				rest = rest[1:]
+			}
+		}
+		if err := cl.Invoke(fn, inputs, outputs, body); err != nil {
+			fatal(err)
+		}
+	case "stats":
+		stats, err := cl.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		for k, v := range stats {
+			fmt.Printf("%-12s %s\n", k, v)
+		}
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pcsictl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command pcsid serves a PCSI deployment over TCP using the stateful
+// binary protocol — the portability demonstration: the same interface the
+// simulation exercises, carried over a real network.
+//
+// The daemon boots a simulated warehouse-scale deployment and registers a
+// few demonstration functions (echo, upper, wordcount). Drive it with
+// pcsictl:
+//
+//	pcsid -addr :7433 &
+//	pcsictl -addr :7433 create regular
+//	pcsictl -addr :7433 put <token> "hello"
+//	pcsictl -addr :7433 get <token>
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/pcsinet"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7433", "listen address")
+		seed = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	cloud := core.New(opts)
+	srv := pcsinet.NewServer(cloud)
+
+	demo := []core.FnConfig{
+		{Name: "echo", Kind: platform.Wasm, Handler: func(fc *core.FnCtx) error {
+			if len(fc.Inputs) > 0 && len(fc.Outputs) > 0 {
+				data, err := fc.Client.Get(fc.Proc(), fc.Inputs[0])
+				if err != nil {
+					return err
+				}
+				return fc.Client.Put(fc.Proc(), fc.Outputs[0], data)
+			}
+			return nil
+		}},
+		{Name: "upper", Kind: platform.Wasm, Handler: func(fc *core.FnCtx) error {
+			data, err := fc.Client.Get(fc.Proc(), fc.Inputs[0])
+			if err != nil {
+				return err
+			}
+			return fc.Client.Put(fc.Proc(), fc.Outputs[0], bytes.ToUpper(data))
+		}},
+		{Name: "wordcount", Kind: platform.Wasm, Handler: func(fc *core.FnCtx) error {
+			data, err := fc.Client.Get(fc.Proc(), fc.Inputs[0])
+			if err != nil {
+				return err
+			}
+			n := len(bytes.Fields(data))
+			return fc.Client.Put(fc.Proc(), fc.Outputs[0], []byte(strconv.Itoa(n)))
+		}},
+	}
+	for _, cfg := range demo {
+		tok, err := srv.RegisterFunction(cfg)
+		if err != nil {
+			log.Fatalf("pcsid: register %s: %v", cfg.Name, err)
+		}
+		fmt.Printf("function %-10s token %s\n", cfg.Name, tok)
+	}
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("pcsid: listen: %v", err)
+	}
+	fmt.Printf("pcsid serving PCSI on %s (seed %d)\n", bound, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\npcsid: shutting down")
+	srv.Close() //nolint:errcheck
+}

@@ -1,0 +1,91 @@
+// Autoscaling: functions "scale in accordance to the number of requests
+// they receive" (§1) — from zero, to a fleet, and back to zero — with
+// pay-per-use billing.
+//
+// A traffic spike hits a completely cold deployment. The example prints
+// the fleet size over time, latency percentiles, and what the burst cost
+// under pay-per-use versus keeping a peak-sized fleet provisioned.
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+	"repro/pcsi"
+)
+
+func main() {
+	opts := pcsi.DefaultOptions()
+	opts.IdleTimeout = 2 * time.Second
+	opts.Policy = pcsi.PlacePacked
+	cloud := pcsi.New(opts)
+	client := cloud.NewClient(0)
+	env := cloud.Env()
+	rt := cloud.Runtime()
+
+	lat := metrics.NewHistogram("latency")
+	var served int
+
+	var fn pcsi.Ref
+	ready := env.NewEvent()
+	env.Go("setup", func(p *pcsi.Proc) {
+		var err error
+		fn, err = client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "handler", Kind: pcsi.PlatformWasm,
+			Res: pcsi.Resources{MilliCPU: 500, MemMB: 128},
+			Handler: func(fc *pcsi.FnCtx) error {
+				fc.Proc().Sleep(25 * time.Millisecond)
+				return nil
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ready.Complete(nil)
+	})
+
+	// Load: 1s quiet, 4s spike at 800 rps, then silence.
+	env.Go("load", func(p *pcsi.Proc) {
+		if _, err := p.Wait(ready); err != nil {
+			return
+		}
+		fmt.Printf("t=%-6v fleet=%d (cold deployment)\n", p.Now(), rt.WarmCount("handler"))
+		p.Sleep(time.Second)
+		arr := workload.NewPoisson(env, 800)
+		workload.Run(env, arr, p.Now().Add(4*time.Second), func(rp *pcsi.Proc, seq int) {
+			start := rp.Now()
+			if _, err := client.Invoke(rp, fn, pcsi.InvokeArgs{}); err != nil {
+				return
+			}
+			served++
+			lat.Observe(rp.Now().Sub(start))
+		})
+	})
+
+	// Sampler: print the fleet size each second.
+	env.Go("sampler", func(p *pcsi.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Second)
+			fmt.Printf("t=%-6v fleet=%d\n", p.Now(), rt.WarmCount("handler"))
+		}
+	})
+	env.RunUntil(pcsi.Time(12 * time.Second))
+
+	rt.Drain()
+	fmt.Printf("\nserved %d requests: p50=%v p99=%v\n", served,
+		metrics.FmtDuration(lat.P50()), metrics.FmtDuration(lat.P99()))
+	fmt.Printf("cold starts: %d, warm starts: %d\n", rt.ColdStarts.Value(), rt.WarmStarts.Value())
+
+	peakFleet := 25.0 // sized for the spike
+	perInstHour := 0.048*0.5 + 0.0053*0.125
+	payPerUse := rt.InstanceSeconds / 3600 * perInstHour
+	provisioned := peakFleet * 12 / 3600 * perInstHour
+	fmt.Printf("pay-per-use: $%.6f for %.0f instance-seconds\n", payPerUse, rt.InstanceSeconds)
+	fmt.Printf("peak-provisioned for the same window: $%.6f (%.1fx more)\n",
+		provisioned, provisioned/payPerUse)
+}

@@ -1,0 +1,115 @@
+// RESTless: the paper's title argument as a program.
+//
+// The same workload — many fine-grained reads of a small object — runs
+// twice: through a stateless REST gateway (per-request connections, HTTP,
+// JSON envelope, remote auth re-checks) and through stateful PCSI
+// references (open once, binary protocol, local capability checks). The
+// example prints where every microsecond of the REST path goes and how
+// the comparison changes on an emerging fast network.
+//
+//	go run ./examples/restless
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/metrics"
+	"repro/internal/restbase"
+	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/pcsi"
+
+	"repro/internal/object"
+	"repro/internal/sim"
+)
+
+const (
+	objectSize = 1024
+	reads      = 200
+)
+
+func main() {
+	for _, prof := range []simnet.Profile{simnet.DC2021, simnet.FastNet} {
+		fmt.Printf("=== network: %s (RTT %v) ===\n", prof.Name, prof.BaseRTT)
+		rest := runREST(prof)
+		pcsiLat := runPCSI(prof)
+		fmt.Printf("REST mean:  %v\nPCSI mean:  %v  (%.0fx faster)\n",
+			metrics.FmtDuration(rest), metrics.FmtDuration(pcsiLat),
+			float64(rest)/float64(pcsiLat))
+
+		cfg := restbase.DefaultConfig()
+		fixed := restbase.ProtocolOverhead(cfg, objectSize)
+		fmt.Printf("REST fixed protocol cost: %v per op (%.0f%% of the %s RTT budget)\n\n",
+			metrics.FmtDuration(fixed), float64(fixed)/float64(prof.BaseRTT)*100, prof.Name)
+	}
+	fmt.Println("the smaller the op and the faster the network, the more RESTless the cloud needs to be")
+}
+
+func runREST(prof simnet.Profile) time.Duration {
+	env := sim.NewEnv(1)
+	net := simnet.New(env, prof)
+	var nodes []simnet.NodeID
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, net.AddNode(i))
+	}
+	grp := consistency.NewGroup(env, net, nodes, store.DRAM)
+	gw := restbase.NewGateway(net, grp, restbase.DefaultConfig())
+	client := net.AddNode(0)
+	var total time.Duration
+	env.Go("rest", func(p *sim.Proc) {
+		id, err := gw.Create(p, client, "bearer-token", object.Regular)
+		check(err)
+		check(gw.Put(p, client, "bearer-token", id, make([]byte, objectSize), consistency.Eventual))
+		start := p.Now()
+		for i := 0; i < reads; i++ {
+			if _, err := gw.Get(p, client, "bearer-token", id, consistency.Eventual); err != nil {
+				log.Fatal(err)
+			}
+		}
+		total = p.Now().Sub(start)
+	})
+	env.Run()
+	fmt.Printf("REST: %d reads, %d connection setups, %d remote auth checks\n",
+		reads, gw.Requests.Value()-2, gw.AuthChecks-2)
+	return total / reads
+}
+
+func runPCSI(prof simnet.Profile) time.Duration {
+	opts := pcsi.DefaultOptions()
+	opts.NetProfile = prof
+	opts.Media = store.DRAM
+	cloud := pcsi.New(opts)
+	client := cloud.NewClient(0)
+	var total time.Duration
+	cloud.Env().Go("pcsi", func(p *pcsi.Proc) {
+		ns, _, err := client.NewNamespace(p)
+		check(err)
+		wref, err := ns.CreateAt(p, client, "obj", pcsi.Regular,
+			pcsi.WithConsistency(pcsi.Eventual))
+		check(err)
+		check(client.Put(p, wref, make([]byte, objectSize)))
+		// Authorisation happens once, at open.
+		ref, err := ns.Open(p, client, "obj", pcsi.RightRead)
+		check(err)
+		start := p.Now()
+		for i := 0; i < reads; i++ {
+			if _, err := client.GetAt(p, ref, pcsi.Eventual); err != nil {
+				log.Fatal(err)
+			}
+		}
+		total = p.Now().Sub(start)
+	})
+	cloud.Env().Run()
+	fmt.Printf("PCSI: %d reads through one reference, %d local capability checks\n",
+		reads, cloud.Caps().Checks)
+	return total / reads
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

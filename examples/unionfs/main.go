@@ -1,0 +1,108 @@
+// Union namespaces: Docker-style layered file trees with capabilities
+// and garbage collection.
+//
+// A read-mostly base image is shared by two tenants, each of which gets a
+// private writable layer union-mounted on top. Writes copy up; removals
+// record whiteouts; the base never changes. When a tenant's layer is
+// dropped, reachability GC reclaims exactly its private objects.
+//
+//	go run ./examples/unionfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pcsi"
+)
+
+func main() {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	admin := cloud.NewClient(0)
+	tenantA := cloud.NewClient(1)
+	tenantB := cloud.NewClient(2)
+
+	var aNS, bNS *pcsi.NS
+	var aRoot, bRoot pcsi.Ref
+
+	cloud.Env().Go("main", func(p *pcsi.Proc) {
+		// --- The base image: built once, then frozen ---
+		base, _, err := admin.NewNamespace(p)
+		check(err)
+		for path, content := range map[string]string{
+			"etc/config":   "workers=4\n",
+			"etc/motd":     "welcome to the base image\n",
+			"bin/app":      "#!machine-code\n",
+			"lib/runtime":  "runtime-v1\n",
+			"data/default": "seed dataset\n",
+		} {
+			ref, err := base.CreateAt(p, admin, path, pcsi.Regular)
+			check(err)
+			check(admin.Put(p, ref, []byte(content)))
+			check(admin.Freeze(p, ref, pcsi.Immutable))
+			admin.Drop(ref)
+		}
+		baseRO := base.Freeze() // read-only view for sharing
+
+		// --- Each tenant layers a private writable namespace on top ---
+		aNS, aRoot, err = tenantA.Union(p, baseRO)
+		check(err)
+		bNS, bRoot, err = tenantB.Union(p, baseRO)
+		check(err)
+
+		// Tenant A overrides the config (copy-up) and adds a file.
+		aCfg, err := aNS.Open(p, tenantA, "etc/config", pcsi.RightRead|pcsi.RightWrite)
+		check(err)
+		check(tenantA.Put(p, aCfg, []byte("workers=32\n")))
+		tenantA.Drop(aCfg)
+		aPriv, err := aNS.CreateAt(p, tenantA, "data/tenant-a.db", pcsi.Regular)
+		check(err)
+		check(tenantA.Put(p, aPriv, make([]byte, 4096)))
+		tenantA.Drop(aPriv)
+
+		// Tenant B deletes the motd (whiteout) — invisible in B, intact in
+		// A and in the base.
+		check(bNS.Remove(p, tenantB, "etc/motd"))
+
+		// --- Show the three views ---
+		show := func(who string, ns *pcsi.NS, cl *pcsi.Client) {
+			entries, err := ns.List(p, cl, "etc")
+			check(err)
+			cfg, err := ns.Open(p, cl, "etc/config", pcsi.RightRead)
+			check(err)
+			content, err := cl.Get(p, cfg)
+			check(err)
+			cl.Drop(cfg)
+			fmt.Printf("%-8s etc/ -> %v, config = %q\n", who, entries, content)
+		}
+		show("base", base, admin)
+		show("tenantA", aNS, tenantA)
+		show("tenantB", bNS, tenantB)
+
+		if _, err := bNS.Open(p, tenantB, "etc/motd", pcsi.RightRead); err != nil {
+			fmt.Println("tenantB: etc/motd is whited out:", err)
+		}
+
+		// --- Reclamation: drop tenant A's layer ---
+		before := cloud.Group().Primary0Store().Len()
+		aNS.DropRoot()
+		tenantA.Drop(aRoot)
+		reclaimed := cloud.Collect()
+		fmt.Printf("dropped tenant A's layer: %d objects reclaimed (%d -> %d objects)\n",
+			reclaimed, before, cloud.Group().Primary0Store().Len())
+
+		// Tenant B still works.
+		if _, err := bNS.Open(p, tenantB, "etc/config", pcsi.RightRead); err != nil {
+			log.Fatalf("tenant B broken after A's reclamation: %v", err)
+		}
+		fmt.Println("tenant B's union still resolves after A's layer was collected")
+	})
+	cloud.Env().Run()
+	_ = bRoot
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Variants: §3.1's universal compute interface in action — "Multiple
+// implementations of the same function can even be provided
+// simultaneously, allowing an optimizer to choose dynamically among them
+// to meet performance and cost goals."
+//
+// One "transcode" function is registered with two implementations: a
+// cheap WebAssembly build and a 5x-faster GPU build. The same call site
+// runs under a cost goal and under a latency goal; the runtime picks the
+// hardware, promoting to the GPU once traffic justifies its boot.
+//
+//	go run ./examples/variants
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/pcsi"
+)
+
+func main() {
+	for _, goal := range []pcsi.Goal{pcsi.GoalCost, pcsi.GoalLatency} {
+		run(goal)
+	}
+	fmt.Println("same function reference, same handler — the optimizer picked the implementation")
+}
+
+func run(goal pcsi.Goal) {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	client := cloud.NewClient(0)
+	fmt.Printf("=== goal: %s ===\n", goal)
+	cloud.Env().Go("driver", func(p *pcsi.Proc) {
+		fn, err := client.RegisterFunction(p, pcsi.FnConfig{
+			Name:        "transcode",
+			Kind:        pcsi.PlatformWasm,
+			TypicalExec: 200 * time.Millisecond,
+			Variants: []pcsi.Variant{
+				{Name: "wasm", Kind: pcsi.PlatformWasm,
+					Res: pcsi.Resources{MilliCPU: 1000, MemMB: 256}, SpeedFactor: 1},
+				{Name: "gpu", Kind: pcsi.PlatformGPU,
+					Res: pcsi.Resources{GPUs: 1}, SpeedFactor: 5},
+			},
+			Handler: func(fc *pcsi.FnCtx) error {
+				// One handler; Scale() adapts the modelled work to the
+				// implementation actually chosen.
+				fc.Proc().Sleep(fc.Inv.Scale(200 * time.Millisecond))
+				return nil
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := map[string]int{}
+		var total time.Duration
+		const calls = 12
+		for i := 0; i < calls; i++ {
+			start := p.Now()
+			inst, err := client.Invoke(p, fn, pcsi.InvokeArgs{Goal: goal})
+			if err != nil {
+				log.Fatal(err)
+			}
+			took := p.Now().Sub(start)
+			total += took
+			counts[inst.Variant().Name]++
+			if i < 5 || counts[inst.Variant().Name] == 1 {
+				fmt.Printf("call %2d -> %-4s (%v)\n", i+1, inst.Variant().Name, took.Round(time.Millisecond))
+			}
+		}
+		fmt.Printf("ran %v; mean %v\n", counts, total/time.Duration(calls))
+		fmt.Printf("compute bill: %v\n\n", cloud.Runtime().Meter.Total())
+	})
+	cloud.Env().Run()
+}

@@ -1,0 +1,209 @@
+package capability
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/object"
+)
+
+func TestMintAndCheck(t *testing.T) {
+	s := NewSpace()
+	r := s.Mint(object.ID(1), Read|Write)
+	if err := s.Check(r, Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(r, Read|Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(r, Exec); !errors.Is(err, ErrDenied) {
+		t.Errorf("Check(Exec) = %v, want ErrDenied", err)
+	}
+}
+
+func TestZeroRefInvalid(t *testing.T) {
+	s := NewSpace()
+	var zero Ref
+	if zero.Valid() {
+		t.Error("zero Ref reports valid")
+	}
+	if err := s.Check(zero, Read); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Check(zero) = %v, want ErrUnknown", err)
+	}
+}
+
+func TestForeignSpaceRefRejected(t *testing.T) {
+	a, b := NewSpace(), NewSpace()
+	r := a.Mint(object.ID(1), All)
+	if err := b.Check(r, Read); !errors.Is(err, ErrUnknown) {
+		t.Errorf("foreign ref check = %v, want ErrUnknown", err)
+	}
+}
+
+func TestAttenuateNarrows(t *testing.T) {
+	s := NewSpace()
+	r := s.Mint(object.ID(1), Read|Write|Grant)
+	ro, err := s.Attenuate(r, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Rights() != Read {
+		t.Errorf("rights = %v, want read", ro.Rights())
+	}
+	if err := s.Check(ro, Write); !errors.Is(err, ErrDenied) {
+		t.Errorf("attenuated ref allows write: %v", err)
+	}
+	// The parent is unaffected.
+	if err := s.Check(r, Write); err != nil {
+		t.Errorf("parent lost rights: %v", err)
+	}
+}
+
+func TestAttenuateCannotAmplify(t *testing.T) {
+	s := NewSpace()
+	r := s.Mint(object.ID(1), Read)
+	if _, err := s.Attenuate(r, Read|Write); !errors.Is(err, ErrAmplify) {
+		t.Errorf("amplification err = %v, want ErrAmplify", err)
+	}
+}
+
+// Property: any chain of attenuations yields rights that are a subset of
+// the original — monotonic narrowing, the core capability invariant.
+func TestAttenuationMonotoneProperty(t *testing.T) {
+	f := func(initial uint32, masks []uint32) bool {
+		s := NewSpace()
+		r := s.Mint(object.ID(1), Rights(initial)&All)
+		orig := r.Rights()
+		for _, m := range masks {
+			nr, err := s.Attenuate(r, Rights(m)&r.Rights())
+			if err != nil {
+				return false
+			}
+			r = nr
+			if r.Rights()&^orig != 0 {
+				return false // gained a right not originally held
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelegateRequiresGrant(t *testing.T) {
+	s := NewSpace()
+	nog := s.Mint(object.ID(1), Read|Write)
+	if _, err := s.Delegate(nog, Read); !errors.Is(err, ErrNoGrant) {
+		t.Errorf("delegate without grant = %v, want ErrNoGrant", err)
+	}
+	g := s.Mint(object.ID(1), Read|Grant)
+	d, err := s.Delegate(g, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(d, Read); err != nil {
+		t.Errorf("delegated ref invalid: %v", err)
+	}
+}
+
+func TestRevokeInvalidatesOutstanding(t *testing.T) {
+	s := NewSpace()
+	r1 := s.Mint(object.ID(7), All)
+	r2, err := s.Attenuate(r1, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := s.Mint(object.ID(8), All)
+	s.Revoke(object.ID(7))
+	if err := s.Check(r1, Read); !errors.Is(err, ErrRevoked) {
+		t.Errorf("r1 after revoke = %v, want ErrRevoked", err)
+	}
+	if err := s.Check(r2, Read); !errors.Is(err, ErrRevoked) {
+		t.Errorf("r2 after revoke = %v, want ErrRevoked", err)
+	}
+	// References to other objects are untouched.
+	if err := s.Check(other, Read); err != nil {
+		t.Errorf("unrelated ref revoked: %v", err)
+	}
+	// New references minted after the revocation are valid.
+	fresh := s.Mint(object.ID(7), Read)
+	if err := s.Check(fresh, Read); err != nil {
+		t.Errorf("fresh ref after revoke invalid: %v", err)
+	}
+}
+
+func TestDropForgetsSingleRef(t *testing.T) {
+	s := NewSpace()
+	r := s.Mint(object.ID(1), Read)
+	keep := s.Mint(object.ID(1), Read)
+	s.Drop(r)
+	if err := s.Check(r, Read); !errors.Is(err, ErrUnknown) {
+		t.Errorf("dropped ref check = %v, want ErrUnknown", err)
+	}
+	if err := s.Check(keep, Read); err != nil {
+		t.Errorf("sibling ref affected by drop: %v", err)
+	}
+}
+
+func TestChecksCounter(t *testing.T) {
+	s := NewSpace()
+	r := s.Mint(object.ID(1), Read)
+	before := s.Checks
+	for i := 0; i < 5; i++ {
+		if err := s.Check(r, Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Checks != before+5 {
+		t.Errorf("Checks = %d, want %d", s.Checks, before+5)
+	}
+}
+
+func TestRightsString(t *testing.T) {
+	if Rights(0).String() != "none" {
+		t.Errorf("Rights(0) = %q", Rights(0).String())
+	}
+	got := (Read | Write).String()
+	if got != "read|write" {
+		t.Errorf("read|write = %q", got)
+	}
+}
+
+func TestRegistryRoots(t *testing.T) {
+	g := NewRegistry()
+	a := g.Mint(object.ID(1), All)
+	g.Mint(object.ID(2), Read)
+	b, err := g.Attenuate(a, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := g.Roots()
+	if len(roots) != 2 || roots[0] != 1 || roots[1] != 2 {
+		t.Fatalf("Roots = %v, want [1 2]", roots)
+	}
+	g.Drop(a)
+	g.Drop(b)
+	roots = g.Roots()
+	if len(roots) != 1 || roots[0] != 2 {
+		t.Fatalf("Roots after drops = %v, want [2]", roots)
+	}
+}
+
+func TestRegistryRootsDeterministic(t *testing.T) {
+	g := NewRegistry()
+	for i := 10; i > 0; i-- {
+		g.Mint(object.ID(i), Read)
+	}
+	r1 := g.Roots()
+	r2 := g.Roots()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("Roots not deterministic")
+		}
+		if i > 0 && r1[i-1] >= r1[i] {
+			t.Fatal("Roots not sorted")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package consistency
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// History checking (Herlihy & Wing linearizability, Wing & Gong search)
+// for single-register read/write histories. Used by tests to validate that
+// the Linearizable level really is linearizable under concurrency.
+
+// OpKind distinguishes history operations.
+type OpKind uint8
+
+// The operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// HistOp is one completed operation in a concurrent history.
+type HistOp struct {
+	Client int
+	Kind   OpKind
+	// Value written (OpWrite) or observed (OpRead).
+	Value string
+	// Invoke and Return bracket the operation in (virtual) time.
+	Invoke sim.Time
+	Return sim.Time
+}
+
+// History accumulates operations from concurrent clients.
+type History struct {
+	ops []HistOp
+}
+
+// Add records a completed operation.
+func (h *History) Add(op HistOp) { h.ops = append(h.ops, op) }
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.ops) }
+
+// Linearizable reports whether the history has a legal linearisation for a
+// single register with the given initial value: a total order of all
+// operations that (a) respects real-time precedence (op A before op B if
+// A.Return < B.Invoke) and (b) is a legal sequential register history
+// (every read observes the most recent write, or the initial value).
+//
+// The search is exponential in the worst case; histories of up to a few
+// dozen concurrent operations check quickly.
+func (h *History) Linearizable(initial string) bool {
+	ops := append([]HistOp(nil), h.ops...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+	remaining := make([]bool, len(ops))
+	for i := range remaining {
+		remaining[i] = true
+	}
+	memo := make(map[string]bool)
+	return h.search(ops, remaining, len(ops), initial, memo)
+}
+
+// search tries to extend a linearisation. remaining marks unlinearised ops.
+func (h *History) search(ops []HistOp, remaining []bool, left int, reg string, memo map[string]bool) bool {
+	if left == 0 {
+		return true
+	}
+	key := stateKey(remaining, reg)
+	if done, ok := memo[key]; ok {
+		return done
+	}
+	// An op is a candidate for the next linearisation point iff no other
+	// remaining op returned before it was invoked.
+	for i, rem := range remaining {
+		if !rem {
+			continue
+		}
+		minimal := true
+		for j, rem2 := range remaining {
+			if rem2 && j != i && ops[j].Return < ops[i].Invoke {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		op := ops[i]
+		if op.Kind == OpRead && op.Value != reg {
+			continue // this read cannot linearise here
+		}
+		next := reg
+		if op.Kind == OpWrite {
+			next = op.Value
+		}
+		remaining[i] = false
+		if h.search(ops, remaining, left-1, next, memo) {
+			remaining[i] = true
+			memo[key] = true
+			return true
+		}
+		remaining[i] = true
+	}
+	memo[key] = false
+	return false
+}
+
+func stateKey(remaining []bool, reg string) string {
+	b := make([]byte, 0, len(remaining)+1+len(reg))
+	for _, r := range remaining {
+		if r {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	b = append(b, '|')
+	b = append(b, reg...)
+	return string(b)
+}

@@ -1,0 +1,105 @@
+package consistency
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCheckerSequentialHistory(t *testing.T) {
+	var h History
+	h.Add(HistOp{Client: 0, Kind: OpWrite, Value: "a", Invoke: 0, Return: 1})
+	h.Add(HistOp{Client: 0, Kind: OpRead, Value: "a", Invoke: 2, Return: 3})
+	if !h.Linearizable("") {
+		t.Error("legal sequential history rejected")
+	}
+}
+
+func TestCheckerReadOfInitial(t *testing.T) {
+	var h History
+	h.Add(HistOp{Kind: OpRead, Value: "init", Invoke: 0, Return: 1})
+	if !h.Linearizable("init") {
+		t.Error("read of initial value rejected")
+	}
+	var h2 History
+	h2.Add(HistOp{Kind: OpRead, Value: "other", Invoke: 0, Return: 1})
+	if h2.Linearizable("init") {
+		t.Error("read of never-written value accepted")
+	}
+}
+
+func TestCheckerStaleReadRejected(t *testing.T) {
+	var h History
+	// w(a) completes, then w(b) completes, then a read sees "a": illegal.
+	h.Add(HistOp{Client: 0, Kind: OpWrite, Value: "a", Invoke: 0, Return: 1})
+	h.Add(HistOp{Client: 0, Kind: OpWrite, Value: "b", Invoke: 2, Return: 3})
+	h.Add(HistOp{Client: 1, Kind: OpRead, Value: "a", Invoke: 4, Return: 5})
+	if h.Linearizable("") {
+		t.Error("stale read accepted — checker broken")
+	}
+}
+
+func TestCheckerConcurrentWriteFlexibility(t *testing.T) {
+	var h History
+	// Two overlapping writes; a later read may see either.
+	h.Add(HistOp{Client: 0, Kind: OpWrite, Value: "x", Invoke: 0, Return: 10})
+	h.Add(HistOp{Client: 1, Kind: OpWrite, Value: "y", Invoke: 5, Return: 15})
+	h.Add(HistOp{Client: 2, Kind: OpRead, Value: "x", Invoke: 20, Return: 21})
+	if !h.Linearizable("") {
+		t.Error("read of concurrent write x rejected")
+	}
+	var h2 History
+	h2.Add(HistOp{Client: 0, Kind: OpWrite, Value: "x", Invoke: 0, Return: 10})
+	h2.Add(HistOp{Client: 1, Kind: OpWrite, Value: "y", Invoke: 5, Return: 15})
+	h2.Add(HistOp{Client: 2, Kind: OpRead, Value: "y", Invoke: 20, Return: 21})
+	if !h2.Linearizable("") {
+		t.Error("read of concurrent write y rejected")
+	}
+}
+
+func TestCheckerReadOverlappingWrite(t *testing.T) {
+	var h History
+	// A read overlapping a write may see old or new value.
+	h.Add(HistOp{Client: 0, Kind: OpWrite, Value: "new", Invoke: 0, Return: 10})
+	h.Add(HistOp{Client: 1, Kind: OpRead, Value: "", Invoke: 1, Return: 2})
+	if !h.Linearizable("") {
+		t.Error("read of pre-write value during write rejected")
+	}
+}
+
+func TestCheckerSplitBrainRejected(t *testing.T) {
+	var h History
+	// Two sequential reads observing values in an order inconsistent with
+	// any single register: r(b) then r(a) after w(a); w(b) both completed,
+	// with w(a) strictly before w(b).
+	h.Add(HistOp{Client: 0, Kind: OpWrite, Value: "a", Invoke: 0, Return: 1})
+	h.Add(HistOp{Client: 0, Kind: OpWrite, Value: "b", Invoke: 2, Return: 3})
+	h.Add(HistOp{Client: 1, Kind: OpRead, Value: "b", Invoke: 4, Return: 5})
+	h.Add(HistOp{Client: 1, Kind: OpRead, Value: "a", Invoke: 6, Return: 7})
+	if h.Linearizable("") {
+		t.Error("value regression accepted — checker broken")
+	}
+}
+
+func TestCheckerEmptyHistory(t *testing.T) {
+	var h History
+	if !h.Linearizable("anything") {
+		t.Error("empty history rejected")
+	}
+}
+
+func TestCheckerLargerHistory(t *testing.T) {
+	var h History
+	// Ten sequential write/read pairs — trivially linearizable but
+	// exercises the memoised search.
+	vals := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	var tt sim.Time
+	for _, v := range vals {
+		h.Add(HistOp{Kind: OpWrite, Value: v, Invoke: tt, Return: tt + 1})
+		h.Add(HistOp{Kind: OpRead, Value: v, Invoke: tt + 2, Return: tt + 3})
+		tt += 4
+	}
+	if !h.Linearizable("") {
+		t.Error("long legal history rejected")
+	}
+}

@@ -1,0 +1,174 @@
+package consistency
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/sim"
+)
+
+// Failure injection: the §3.3 availability/consistency trade, concretely.
+
+func TestMinorityFailureLinearizableStillWorks(t *testing.T) {
+	env, _, g, client := testbed(20)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.Apply(p, client, id, Linearizable, 1, setData([]byte("a"))); err != nil {
+			t.Error(err)
+			return
+		}
+		// Kill one non-primary replica: majority still live.
+		prim := int(uint64(id)) % g.N()
+		g.SetDown((prim+1)%g.N(), true)
+		if err := g.Apply(p, client, id, Linearizable, 1, setData([]byte("b"))); err != nil {
+			t.Errorf("linearizable write with minority failure: %v", err)
+		}
+		data, err := g.Read(p, client, id, Linearizable)
+		if err != nil || string(data) != "b" {
+			t.Errorf("read = %q, %v", data, err)
+		}
+	})
+	env.Run()
+}
+
+func TestMajorityFailureLinearizableUnavailable(t *testing.T) {
+	env, _, g, client := testbed(21)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g.SetDown(0, true)
+		g.SetDown(1, true) // 2 of 3 down
+		start := p.Now()
+		err = g.Apply(p, client, id, Linearizable, 1, setData([]byte("x")))
+		if !errors.Is(err, ErrUnavailable) {
+			t.Errorf("err = %v, want ErrUnavailable", err)
+		}
+		if p.Now().Sub(start) < DownTimeout {
+			t.Error("unavailability detected without waiting the timeout")
+		}
+	})
+	env.Run()
+}
+
+func TestPrimaryDownLinearizableUnavailableButEventualServes(t *testing.T) {
+	env, _, g, client := testbed(22)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.Apply(p, client, id, Linearizable, 4, setData([]byte("data"))); err != nil {
+			t.Error(err)
+			return
+		}
+		prim := int(uint64(id)) % g.N()
+		g.SetDown(prim, true)
+		// Strong level: unavailable.
+		if _, err := g.Read(p, client, id, Linearizable); !errors.Is(err, ErrUnavailable) {
+			t.Errorf("linearizable read err = %v, want ErrUnavailable", err)
+		}
+		// Eventual level: a surviving replica serves (possibly stale) data.
+		data, err := g.Read(p, client, id, Eventual)
+		if err != nil {
+			t.Errorf("eventual read during primary failure: %v", err)
+		}
+		if string(data) != "data" {
+			t.Errorf("eventual read = %q", data)
+		}
+	})
+	env.Run()
+}
+
+func TestAllReplicasDownEverythingUnavailable(t *testing.T) {
+	env, _, g, client := testbed(23)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < g.N(); i++ {
+			g.SetDown(i, true)
+		}
+		if _, err := g.Read(p, client, id, Eventual); !errors.Is(err, ErrUnavailable) {
+			t.Errorf("eventual read err = %v", err)
+		}
+		if err := g.Apply(p, client, id, Eventual, 1, setData([]byte("x"))); !errors.Is(err, ErrUnavailable) {
+			t.Errorf("eventual write err = %v", err)
+		}
+		if _, err := g.Create(p, client, object.Regular); !errors.Is(err, ErrUnavailable) {
+			t.Errorf("create err = %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestRecoveredReplicaCatchesUpViaGossip(t *testing.T) {
+	env, _, g, client := testbed(24)
+	g.StartAntiEntropy(5 * time.Millisecond)
+	var id object.ID
+	env.Go("c", func(p *sim.Proc) {
+		var err error
+		id, err = g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(20 * time.Millisecond)
+		// Fail a non-primary replica, then write while it is down.
+		prim := int(uint64(id)) % g.N()
+		victim := (prim + 1) % g.N()
+		g.SetDown(victim, true)
+		if err := g.Apply(p, client, id, Linearizable, 7, setData([]byte("updated"))); err != nil {
+			t.Error(err)
+			return
+		}
+		// Recover; gossip must deliver the missed write.
+		p.Sleep(50 * time.Millisecond)
+		g.SetDown(victim, false)
+		p.Sleep(time.Second)
+		o, err := g.Replicas()[victim].St.Get(id)
+		if err != nil || string(o.Read()) != "updated" {
+			t.Errorf("recovered replica state = %v, %v — gossip catch-up failed", o, err)
+		}
+	})
+	env.RunUntil(sim.Time(5 * time.Second))
+}
+
+func TestDownReplicaExcludedFromGossip(t *testing.T) {
+	env, _, g, client := testbed(25)
+	var id object.ID
+	env.Go("c", func(p *sim.Proc) {
+		var err error
+		id, err = g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(50 * time.Millisecond)
+		if err := g.Apply(p, client, id, Linearizable, 3, setData([]byte("new"))); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	// Manually clear one replica's payload and mark it down: SyncAll must
+	// not resurrect or propagate through it.
+	victim := g.Replicas()[(int(uint64(id))%g.N()+1)%g.N()]
+	g.SetDown(victim.Index, true)
+	before := victim.St.Reads + victim.St.Writes
+	g.SyncAll()
+	after := victim.St.Reads + victim.St.Writes
+	if after != before {
+		t.Errorf("down replica participated in anti-entropy (%d ops)", after-before)
+	}
+}

@@ -1,0 +1,324 @@
+package consistency
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// testbed builds a 3-replica group across racks plus a client node.
+func testbed(seed int64) (*sim.Env, *simnet.Network, *Group, simnet.NodeID) {
+	env := sim.NewEnv(seed)
+	net := simnet.New(env, simnet.DC2021)
+	var nodes []simnet.NodeID
+	for rack := 0; rack < 3; rack++ {
+		nodes = append(nodes, net.AddNode(rack))
+	}
+	client := net.AddNode(0) // same rack as replica 0
+	g := NewGroup(env, net, nodes, store.DRAM)
+	return env, net, g, client
+}
+
+func setData(b []byte) func(*object.Object) error {
+	return func(o *object.Object) error { return o.SetData(b) }
+}
+
+func TestCreateReplicatesToMajority(t *testing.T) {
+	env, _, g, client := testbed(1)
+	var id object.ID
+	env.Go("c", func(p *sim.Proc) {
+		var err error
+		id, err = g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	if id == object.NilID {
+		t.Fatal("no id")
+	}
+	have := 0
+	for _, r := range g.Replicas() {
+		if r.St.Contains(id) {
+			have++
+		}
+	}
+	if have < 2 {
+		t.Errorf("object on %d replicas, want >= majority (2)", have)
+	}
+}
+
+func TestLinearizableWriteVisibleEverywhereAfterSync(t *testing.T) {
+	env, _, g, client := testbed(1)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.Apply(p, client, id, Linearizable, 5, setData([]byte("hello"))); err != nil {
+			t.Error(err)
+			return
+		}
+		data, err := g.Read(p, client, id, Linearizable)
+		if err != nil || string(data) != "hello" {
+			t.Errorf("read-own-write = %q, %v", data, err)
+		}
+	})
+	env.Run()
+}
+
+func TestLinearizableReadLatencyExceedsEventual(t *testing.T) {
+	// The §4.3 shape: strong ops pay quorum replication, eventual ops touch
+	// the closest replica only.
+	env, _, g, client := testbed(2)
+	var strongW, evW time.Duration
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		t0 := p.Now()
+		if err := g.Apply(p, client, id, Linearizable, 1024, setData(make([]byte, 1024))); err != nil {
+			t.Error(err)
+		}
+		strongW = p.Now().Sub(t0)
+		t0 = p.Now()
+		if err := g.Apply(p, client, id, Eventual, 1024, setData(make([]byte, 1024))); err != nil {
+			t.Error(err)
+		}
+		evW = p.Now().Sub(t0)
+	})
+	env.Run()
+	if evW >= strongW {
+		t.Errorf("eventual write %v not faster than linearizable %v", evW, strongW)
+	}
+}
+
+func TestEventualWriteConvergesViaAntiEntropy(t *testing.T) {
+	env, _, g, client := testbed(3)
+	g.StartAntiEntropy(5 * time.Millisecond)
+	var id object.ID
+	env.Go("c", func(p *sim.Proc) {
+		var err error
+		id, err = g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(10 * time.Millisecond) // let create settle everywhere
+		if err := g.Apply(p, client, id, Eventual, 4, setData([]byte("data"))); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(500 * time.Millisecond) // many gossip rounds
+	})
+	env.RunUntil(sim.Time(time.Second))
+	if g.GossipRounds == 0 {
+		t.Fatal("anti-entropy never ran")
+	}
+	for i, r := range g.Replicas() {
+		o, err := r.St.Get(id)
+		if err != nil || string(o.Read()) != "data" {
+			t.Errorf("replica %d did not converge: %v", i, err)
+		}
+	}
+}
+
+func TestEventualReadCanBeStale(t *testing.T) {
+	env, net, g, _ := testbed(4)
+	// A client in rack 2 reads from the rack-2 replica; a client in rack 0
+	// writes through rack 0. Without gossip the rack-2 read is stale.
+	farClient := net.AddNode(2)
+	nearClient := net.AddNode(0)
+	var stale []byte
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, nearClient, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(50 * time.Millisecond) // create settles on all replicas
+		if err := g.Apply(p, nearClient, id, Eventual, 3, setData([]byte("new"))); err != nil {
+			t.Error(err)
+			return
+		}
+		stale, err = g.Read(p, farClient, id, Eventual)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	if string(stale) == "new" {
+		t.Skip("closest replica happened to be the written one")
+	}
+	if g.StaleReads == 0 {
+		t.Error("stale read not counted")
+	}
+}
+
+func TestSyncAllConverges(t *testing.T) {
+	env, net, g, _ := testbed(5)
+	c0 := net.AddNode(0)
+	c2 := net.AddNode(2)
+	var id object.ID
+	env.Go("c", func(p *sim.Proc) {
+		var err error
+		id, err = g.Create(p, c0, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(50 * time.Millisecond)
+		// Conflicting eventual writes at two replicas.
+		if err := g.Apply(p, c0, id, Eventual, 1, setData([]byte("A"))); err != nil {
+			t.Error(err)
+		}
+		if err := g.Apply(p, c2, id, Eventual, 1, setData([]byte("B"))); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	g.SyncAll()
+	g.SyncAll() // second pass guarantees full propagation
+	var vals []string
+	for _, r := range g.Replicas() {
+		o, err := r.St.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, string(o.Read()))
+	}
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			t.Fatalf("replicas diverged after SyncAll: %v", vals)
+		}
+	}
+	if g.Conflicts == 0 {
+		t.Error("concurrent writes not detected as conflict")
+	}
+}
+
+func TestMutabilityEnforcedThroughReplication(t *testing.T) {
+	env, _, g, client := testbed(6)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.Apply(p, client, id, Linearizable, 6, setData([]byte("frozen"))); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.Apply(p, client, id, Linearizable, 0, func(o *object.Object) error {
+			return o.SetMutability(object.Immutable)
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		err = g.Apply(p, client, id, Linearizable, 1, setData([]byte("x")))
+		if !errors.Is(err, object.ErrImmutable) {
+			t.Errorf("write to immutable err = %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestApplyMissingObject(t *testing.T) {
+	env, _, g, client := testbed(7)
+	env.Go("c", func(p *sim.Proc) {
+		err := g.Apply(p, client, object.ID(999), Linearizable, 1, setData([]byte("x")))
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("err = %v, want ErrNotFound", err)
+		}
+		if _, err := g.Read(p, client, object.ID(999), Eventual); !errors.Is(err, ErrNotFound) {
+			t.Errorf("read err = %v, want ErrNotFound", err)
+		}
+	})
+	env.Run()
+}
+
+// The central correctness test: concurrent clients performing linearizable
+// reads and writes must produce a linearizable history.
+func TestLinearizableLevelPassesChecker(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		env, net, g, _ := testbed(100 + seed)
+		var h History
+		var id object.ID
+		setup := env.NewEvent()
+		env.Go("setup", func(p *sim.Proc) {
+			var err error
+			id, err = g.Create(p, net.AddNode(0), object.Regular)
+			if err != nil {
+				t.Error(err)
+			}
+			setup.Complete(nil)
+		})
+		for c := 0; c < 4; c++ {
+			c := c
+			client := net.AddNode(c % 3)
+			env.Go(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+				if _, err := p.Wait(setup); err != nil {
+					return
+				}
+				for i := 0; i < 4; i++ {
+					inv := p.Now()
+					if (c+i)%2 == 0 {
+						v := fmt.Sprintf("c%d-%d", c, i)
+						if err := g.Apply(p, client, id, Linearizable, len(v), setData([]byte(v))); err != nil {
+							t.Error(err)
+							return
+						}
+						h.Add(HistOp{Client: c, Kind: OpWrite, Value: v, Invoke: inv, Return: p.Now()})
+					} else {
+						data, err := g.Read(p, client, id, Linearizable)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						h.Add(HistOp{Client: c, Kind: OpRead, Value: string(data), Invoke: inv, Return: p.Now()})
+					}
+					p.Sleep(time.Duration(env.Rand().Intn(int(time.Millisecond))))
+				}
+			})
+		}
+		env.Run()
+		if h.Len() != 16 {
+			t.Fatalf("seed %d: history has %d ops, want 16", seed, h.Len())
+		}
+		if !h.Linearizable("") {
+			t.Errorf("seed %d: linearizable level produced non-linearizable history", seed)
+		}
+	}
+}
+
+func TestStampAt(t *testing.T) {
+	env, _, g, client := testbed(9)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.Apply(p, client, id, Linearizable, 1, setData([]byte("x"))); err != nil {
+			t.Error(err)
+			return
+		}
+		prim := int(uint64(id)) % g.N()
+		s, ok := g.StampAt(prim, id)
+		if !ok || s.Counter == 0 {
+			t.Errorf("StampAt = %v, %v", s, ok)
+		}
+	})
+	env.Run()
+	if _, ok := g.StampAt(0, object.ID(424242)); ok {
+		t.Error("StampAt for missing object reported ok")
+	}
+}

@@ -1,0 +1,132 @@
+// Package consistency implements the paper's "simple consistency menu"
+// (§3.3): every operation executes at one of exactly two levels,
+// linearizable or eventual.
+//
+// Linearizable operations are serialised through a per-object primary
+// replica and synchronously replicated to a majority before
+// acknowledgement. Eventual operations complete at the closest replica and
+// propagate in the background via anti-entropy gossip; conflicting
+// concurrent updates are detected with vector clocks and resolved
+// last-writer-wins, with conflicts counted. Quorum sizes and replica
+// placement are deliberately hidden from the API, as the paper prescribes
+// ("we deliberately hide mechanism details like quorum sizes from the
+// application").
+package consistency
+
+import "fmt"
+
+// Level selects a consistency level for one operation.
+type Level uint8
+
+// The two entries on the menu.
+const (
+	Linearizable Level = iota
+	Eventual
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Linearizable:
+		return "linearizable"
+	case Eventual:
+		return "eventual"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Stamp is a last-writer-wins version stamp: a Lamport counter with the
+// writing replica's index as tiebreak.
+type Stamp struct {
+	Counter uint64
+	Writer  int
+}
+
+// Less orders stamps (LWW: greater stamp wins).
+func (s Stamp) Less(t Stamp) bool {
+	if s.Counter != t.Counter {
+		return s.Counter < t.Counter
+	}
+	return s.Writer < t.Writer
+}
+
+// String renders the stamp.
+func (s Stamp) String() string { return fmt.Sprintf("%d@r%d", s.Counter, s.Writer) }
+
+// VClock is a vector clock with one slot per replica, used to distinguish
+// causally-ordered updates from true conflicts during anti-entropy.
+type VClock []uint64
+
+// NewVClock returns a zero clock for n replicas.
+func NewVClock(n int) VClock { return make(VClock, n) }
+
+// Clone copies the clock.
+func (v VClock) Clone() VClock { return append(VClock(nil), v...) }
+
+// Tick increments replica i's slot.
+func (v VClock) Tick(i int) { v[i]++ }
+
+// Merge sets v to the element-wise maximum of v and u.
+func (v VClock) Merge(u VClock) {
+	for i := range v {
+		if i < len(u) && u[i] > v[i] {
+			v[i] = u[i]
+		}
+	}
+}
+
+// Compare returns -1 if v happens-before u, +1 if u happens-before v,
+// 0 if equal, and Concurrent if neither dominates.
+func (v VClock) Compare(u VClock) Ordering {
+	less, greater := false, false
+	for i := range v {
+		var ui uint64
+		if i < len(u) {
+			ui = u[i]
+		}
+		switch {
+		case v[i] < ui:
+			less = true
+		case v[i] > ui:
+			greater = true
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Ordering is the result of a vector-clock comparison.
+type Ordering int8
+
+// The possible orderings.
+const (
+	Before     Ordering = -1
+	Equal      Ordering = 0
+	After      Ordering = 1
+	Concurrent Ordering = 2
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case Equal:
+		return "equal"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,107 @@
+package consistency
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStampOrdering(t *testing.T) {
+	a := Stamp{Counter: 1, Writer: 0}
+	b := Stamp{Counter: 2, Writer: 0}
+	c := Stamp{Counter: 2, Writer: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("counter ordering broken")
+	}
+	if !b.Less(c) || c.Less(b) {
+		t.Error("writer tiebreak broken")
+	}
+	if a.Less(a) {
+		t.Error("stamp less than itself")
+	}
+}
+
+// Property: Less is a strict total order on stamps.
+func TestStampTotalOrderProperty(t *testing.T) {
+	f := func(c1, c2 uint16, w1, w2 uint8) bool {
+		a := Stamp{Counter: uint64(c1), Writer: int(w1)}
+		b := Stamp{Counter: uint64(c2), Writer: int(w2)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a) // exactly one direction
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVClockCompare(t *testing.T) {
+	a := VClock{1, 0, 0}
+	b := VClock{1, 1, 0}
+	if a.Compare(b) != Before {
+		t.Errorf("a vs b = %v, want before", a.Compare(b))
+	}
+	if b.Compare(a) != After {
+		t.Errorf("b vs a = %v, want after", b.Compare(a))
+	}
+	if a.Compare(a.Clone()) != Equal {
+		t.Error("clone not equal")
+	}
+	c := VClock{0, 2, 0}
+	if a.Compare(c) != Concurrent {
+		t.Errorf("a vs c = %v, want concurrent", a.Compare(c))
+	}
+}
+
+func TestVClockMerge(t *testing.T) {
+	a := VClock{3, 1, 0}
+	b := VClock{1, 5, 2}
+	a.Merge(b)
+	want := VClock{3, 5, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestVClockTick(t *testing.T) {
+	v := NewVClock(3)
+	v.Tick(1)
+	v.Tick(1)
+	v.Tick(2)
+	if v[0] != 0 || v[1] != 2 || v[2] != 1 {
+		t.Errorf("v = %v", v)
+	}
+}
+
+// Property: merge produces a clock that is >= both inputs.
+func TestVClockMergeUpperBoundProperty(t *testing.T) {
+	f := func(xs, ys [4]uint8) bool {
+		a, b := NewVClock(4), NewVClock(4)
+		for i := 0; i < 4; i++ {
+			a[i], b[i] = uint64(xs[i]), uint64(ys[i])
+		}
+		m := a.Clone()
+		m.Merge(b)
+		ra := m.Compare(a)
+		rb := m.Compare(b)
+		okA := ra == After || ra == Equal
+		okB := rb == After || rb == Equal
+		return okA && okB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderingStrings(t *testing.T) {
+	for _, o := range []Ordering{Before, Equal, After, Concurrent} {
+		if o.String() == "invalid" {
+			t.Errorf("ordering %d renders invalid", o)
+		}
+	}
+	if Linearizable.String() != "linearizable" || Eventual.String() != "eventual" {
+		t.Error("level names wrong")
+	}
+}

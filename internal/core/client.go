@@ -1,0 +1,416 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/capability"
+	"repro/internal/consistency"
+	"repro/internal/cost"
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// Client is a PCSI session bound to an origin node. All data operations
+// are charged the network and media costs of that origin, and validated
+// against the capability each call presents — a stateful, reference-based
+// protocol (§3.2: "references make the PCSI API stateful").
+type Client struct {
+	c    *Cloud
+	node simnet.NodeID
+}
+
+// NewClient returns a client homed on a fresh node in the given rack.
+func (c *Cloud) NewClient(rack int) *Client {
+	return &Client{c: c, node: c.net.AddNode(rack)}
+}
+
+// ClientAt returns a client homed on an existing node (e.g., a function
+// instance's node, so data ops originate where the code runs).
+func (c *Cloud) ClientAt(node simnet.NodeID) *Client {
+	return &Client{c: c, node: node}
+}
+
+// Node returns the client's origin node.
+func (cl *Client) Node() simnet.NodeID { return cl.node }
+
+// Cloud returns the owning deployment.
+func (cl *Client) Cloud() *Cloud { return cl.c }
+
+// CreateOpt mutates creation parameters.
+type CreateOpt func(*createParams)
+
+type createParams struct {
+	lvl       consistency.Level
+	mut       object.Mutability
+	ephemeral bool
+}
+
+// WithConsistency sets the object's default consistency level.
+func WithConsistency(l consistency.Level) CreateOpt {
+	return func(p *createParams) { p.lvl = l }
+}
+
+// WithMutability sets the object's initial mutability level.
+func WithMutability(m object.Mutability) CreateOpt {
+	return func(p *createParams) { p.mut = m }
+}
+
+// check validates the reference's rights; this is the single, local
+// capability check that replaces REST's per-request re-authentication.
+func (cl *Client) check(r Ref, need capability.Rights) error {
+	if !r.Valid() {
+		return ErrInvalidRef
+	}
+	if err := cl.c.caps.Check(r.cap, need); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// observe records a data operation's latency.
+func (cl *Client) observe(p *sim.Proc, start sim.Time) {
+	cl.c.DataLat.Observe(p.Now().Sub(start))
+}
+
+// Create makes a new object and returns a full-rights reference to it.
+func (cl *Client) Create(p *sim.Proc, kind object.Kind, opts ...CreateOpt) (Ref, error) {
+	params := createParams{lvl: consistency.Linearizable, mut: object.Mutable}
+	for _, o := range opts {
+		o(&params)
+	}
+	start := p.Now()
+	if params.ephemeral {
+		id := cl.c.newEphem(cl.node, kind)
+		if params.mut != object.Mutable {
+			if err := cl.c.ephem[id].obj.SetMutability(params.mut); err != nil {
+				return Ref{}, err
+			}
+		}
+		p.Sleep(store.DRAM.WriteLatency)
+		cl.observe(p, start)
+		return Ref{cap: cl.c.caps.Mint(id, capability.All), lvl: params.lvl}, nil
+	}
+	id, err := cl.c.grp.Create(p, cl.node, kind)
+	if err != nil {
+		return Ref{}, err
+	}
+	if params.mut != object.Mutable {
+		err = cl.c.grp.Apply(p, cl.node, id, consistency.Linearizable, 0, func(o *object.Object) error {
+			return o.SetMutability(params.mut)
+		})
+		if err != nil {
+			return Ref{}, err
+		}
+	}
+	cl.observe(p, start)
+	return Ref{cap: cl.c.caps.Mint(id, capability.All), lvl: params.lvl}, nil
+}
+
+// Put replaces an object's payload.
+func (cl *Client) Put(p *sim.Proc, r Ref, data []byte) error {
+	if err := cl.check(r, capability.Write); err != nil {
+		return err
+	}
+	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
+		// Whole-object writes migrate the single copy to the writer: data
+		// lives where it was produced, so a co-scheduled consumer reads it
+		// locally (§4.1).
+		e.owner = cl.node
+		return cl.ephemMutate(p, e, len(data), func(o *object.Object) error {
+			return o.SetData(data)
+		})
+	}
+	start := p.Now()
+	cl.c.BytesMoved += int64(len(data))
+	err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
+		return o.SetData(data)
+	})
+	if err == nil {
+		// Stage the written content locally; it becomes servable if the
+		// object is later frozen (cache-stable, §3.3).
+		cl.c.cacheFor(cl.node)[r.cap.Object()] = &cacheEntry{data: append([]byte(nil), data...)}
+		cl.c.Meter.Charge("write", cost.PCSIBook.WriteCost(int64(len(data))))
+	}
+	cl.observe(p, start)
+	return err
+}
+
+// Get returns an object's full payload. Reads of frozen objects whose
+// content is cached on the client's node are served locally without
+// touching the network — logical disaggregation without physical
+// disaggregation (§4.1).
+func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
+	if err := cl.check(r, capability.Read); err != nil {
+		return nil, err
+	}
+	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
+		var data []byte
+		err := cl.ephemView(p, e, int(e.obj.Size()), func(o *object.Object) error {
+			data = o.Read()
+			return nil
+		})
+		return data, err
+	}
+	start := p.Now()
+	if e, ok := cl.c.cacheFor(cl.node)[r.cap.Object()]; ok && e.stable {
+		cl.c.CacheHits++
+		p.Sleep(store.DRAM.ReadCost(int64(len(e.data))))
+		cl.c.Meter.Charge("read", cost.PCSIBook.ReadCost(int64(len(e.data)), false))
+		cl.observe(p, start)
+		return append([]byte(nil), e.data...), nil
+	}
+	var data []byte
+	var frozen bool
+	err := cl.c.grp.View(p, cl.node, r.cap.Object(), r.lvl, func(o *object.Object) error {
+		data = o.Read()
+		frozen = o.Mutability() == object.Immutable
+		return nil
+	})
+	if err == nil {
+		// Pull-through: remote reads populate the local cache; the entry
+		// is servable immediately when the object is already frozen.
+		cl.c.cacheFor(cl.node)[r.cap.Object()] = &cacheEntry{data: append([]byte(nil), data...), stable: frozen}
+		cl.c.Meter.Charge("read", cost.PCSIBook.ReadCost(int64(len(data)), r.lvl == consistency.Linearizable))
+	}
+	cl.c.BytesMoved += int64(len(data))
+	cl.observe(p, start)
+	return data, err
+}
+
+// GetAt reads at a specific consistency level, overriding the reference's
+// default — the per-operation menu of §3.3.
+func (cl *Client) GetAt(p *sim.Proc, r Ref, lvl consistency.Level) ([]byte, error) {
+	if err := cl.check(r, capability.Read); err != nil {
+		return nil, err
+	}
+	start := p.Now()
+	data, err := cl.c.grp.Read(p, cl.node, r.cap.Object(), lvl)
+	cl.c.BytesMoved += int64(len(data))
+	cl.observe(p, start)
+	return data, err
+}
+
+// Append appends to an object.
+func (cl *Client) Append(p *sim.Proc, r Ref, data []byte) error {
+	if err := cl.check(r, capability.Append); err != nil {
+		return err
+	}
+	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
+		return cl.ephemMutate(p, e, len(data), func(o *object.Object) error {
+			return o.Append(data)
+		})
+	}
+	start := p.Now()
+	cl.c.BytesMoved += int64(len(data))
+	err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
+		return o.Append(data)
+	})
+	cl.observe(p, start)
+	return err
+}
+
+// WriteAt writes data at an offset.
+func (cl *Client) WriteAt(p *sim.Proc, r Ref, data []byte, off int64) error {
+	if err := cl.check(r, capability.Write); err != nil {
+		return err
+	}
+	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
+		return cl.ephemMutate(p, e, len(data), func(o *object.Object) error {
+			_, werr := o.WriteAt(data, off)
+			return werr
+		})
+	}
+	start := p.Now()
+	cl.c.BytesMoved += int64(len(data))
+	err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
+		_, werr := o.WriteAt(data, off)
+		return werr
+	})
+	cl.observe(p, start)
+	return err
+}
+
+// ReadAt reads up to n bytes from an offset.
+func (cl *Client) ReadAt(p *sim.Proc, r Ref, off int64, n int) ([]byte, error) {
+	if err := cl.check(r, capability.Read); err != nil {
+		return nil, err
+	}
+	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
+		buf := make([]byte, n)
+		var got int
+		err := cl.ephemView(p, e, n, func(o *object.Object) error {
+			var rerr error
+			got, rerr = o.ReadAt(buf, off)
+			return rerr
+		})
+		return buf[:got], err
+	}
+	start := p.Now()
+	buf := make([]byte, n)
+	var got int
+	err := cl.c.grp.View(p, cl.node, r.cap.Object(), r.lvl, func(o *object.Object) error {
+		var rerr error
+		got, rerr = o.ReadAt(buf, off)
+		return rerr
+	})
+	cl.c.BytesMoved += int64(got)
+	cl.observe(p, start)
+	return buf[:got], err
+}
+
+// Freeze moves the object along the Figure 1 mutability lattice. Freezing
+// to IMMUTABLE promotes any staged local copy to cache-stable.
+func (cl *Client) Freeze(p *sim.Proc, r Ref, m object.Mutability) error {
+	if err := cl.check(r, capability.SetMut); err != nil {
+		return err
+	}
+	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
+		return cl.ephemMutate(p, e, 0, func(o *object.Object) error {
+			return o.SetMutability(m)
+		})
+	}
+	err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, 0, func(o *object.Object) error {
+		return o.SetMutability(m)
+	})
+	if err == nil && m == object.Immutable {
+		// The staged local copy may be stale (another node could have
+		// written after we staged), so it cannot simply be promoted.
+		// Drop it unless it provably matches the frozen content; the next
+		// Get pulls the authoritative bytes through and caches them.
+		id := r.cap.Object()
+		if e, ok := cl.c.cacheFor(cl.node)[id]; ok {
+			if o, gerr := cl.c.grp.Primary0Store().Get(id); gerr == nil && bytesEqual(o.Read(), e.data) {
+				e.stable = true
+			} else {
+				delete(cl.c.cacheFor(cl.node), id)
+			}
+		}
+	}
+	return err
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mutability reports the object's current level.
+func (cl *Client) Mutability(p *sim.Proc, r Ref) (object.Mutability, error) {
+	if err := cl.check(r, capability.Read); err != nil {
+		return 0, err
+	}
+	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
+		var m object.Mutability
+		err := cl.ephemView(p, e, 0, func(o *object.Object) error {
+			m = o.Mutability()
+			return nil
+		})
+		return m, err
+	}
+	var m object.Mutability
+	err := cl.c.grp.View(p, cl.node, r.cap.Object(), consistency.Linearizable, func(o *object.Object) error {
+		m = o.Mutability()
+		return nil
+	})
+	return m, err
+}
+
+// Push enqueues a message on a FIFO object.
+func (cl *Client) Push(p *sim.Proc, r Ref, msg []byte) error {
+	if err := cl.check(r, capability.Append); err != nil {
+		return err
+	}
+	cl.c.BytesMoved += int64(len(msg))
+	return cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, len(msg), func(o *object.Object) error {
+		return o.Push(msg)
+	})
+}
+
+// Pop dequeues a message from a FIFO object, blocking (with polling) until
+// one is available.
+func (cl *Client) Pop(p *sim.Proc, r Ref) ([]byte, error) {
+	if err := cl.check(r, capability.Read|capability.Write); err != nil {
+		return nil, err
+	}
+	for {
+		var msg []byte
+		err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, 0, func(o *object.Object) error {
+			m, perr := o.Pop()
+			if perr != nil {
+				return perr
+			}
+			msg = m
+			return nil
+		})
+		if err == nil {
+			cl.c.BytesMoved += int64(len(msg))
+			return msg, nil
+		}
+		if !errors.Is(err, object.ErrFIFOEmpty) {
+			return nil, err
+		}
+		p.Sleep(cl.c.net.Profile().BaseRTT) // poll backoff
+	}
+}
+
+// Attenuate derives a reference with narrowed rights.
+func (cl *Client) Attenuate(r Ref, mask capability.Rights) (Ref, error) {
+	nr, err := cl.c.caps.Attenuate(r.cap, mask)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{cap: nr, lvl: r.lvl}, nil
+}
+
+// Drop releases a reference; the object becomes collectable once
+// unreachable.
+func (cl *Client) Drop(r Ref) { cl.c.caps.Drop(r.cap) }
+
+// Revoke invalidates every outstanding reference to the object behind r.
+// Requires the Grant right (issuer-level authority).
+func (cl *Client) Revoke(r Ref) error {
+	if err := cl.check(r, capability.Grant); err != nil {
+		return err
+	}
+	cl.c.caps.Revoke(r.cap.Object())
+	return nil
+}
+
+// Stat returns kind, size, version and mutability without payload
+// transfer.
+type StatInfo struct {
+	Kind       object.Kind
+	Size       int64
+	Version    uint64
+	Mutability object.Mutability
+}
+
+// Stat fetches object metadata.
+func (cl *Client) Stat(p *sim.Proc, r Ref) (StatInfo, error) {
+	var info StatInfo
+	if err := cl.check(r, capability.Read); err != nil {
+		return info, err
+	}
+	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
+		err := cl.ephemView(p, e, 0, func(o *object.Object) error {
+			info = StatInfo{Kind: o.Kind(), Size: o.Size(), Version: o.Version(), Mutability: o.Mutability()}
+			return nil
+		})
+		return info, err
+	}
+	err := cl.c.grp.View(p, cl.node, r.cap.Object(), consistency.Linearizable, func(o *object.Object) error {
+		info = StatInfo{Kind: o.Kind(), Size: o.Size(), Version: o.Version(), Mutability: o.Mutability()}
+		return nil
+	})
+	return info, err
+}

@@ -1,0 +1,311 @@
+// Package core implements the paper's contribution: the Portable Cloud
+// System Interface (PCSI), a unified interface to cloud state and
+// computation (§3).
+//
+// A Cloud wires together every substrate — the simulated datacenter
+// network and cluster, the replicated object store with the two-entry
+// consistency menu, capability references, per-function namespaces with
+// union layering, the autoscaling function runtime, task graphs, and
+// reachability GC — behind one small set of verbs. Clients are bound to an
+// origin node, so every operation pays realistic (simulated) network,
+// media, and protocol costs.
+//
+// The deliberate contrasts with the baselines:
+//
+//   - Access is by reference (capability), not by re-authenticated name:
+//     rights are checked locally at the API boundary once per operation
+//     instead of per-request credential validation on a remote front door.
+//   - The protocol is stateful and binary-framed: no per-call connection
+//     setup, HTTP parsing, or JSON marshaling (cf. internal/restbase).
+//   - Consistency and mutability are explicit per object.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/capability"
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/cost"
+	"repro/internal/faas"
+	"repro/internal/gc"
+	"repro/internal/metrics"
+	"repro/internal/object"
+	"repro/internal/platform"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// PlacementPolicy selects the scheduler used for function placement.
+type PlacementPolicy int
+
+// The available policies.
+const (
+	PlaceNaive PlacementPolicy = iota
+	PlacePacked
+	PlaceColocate
+	PlaceScavenge
+)
+
+// String names the policy.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceNaive:
+		return "naive"
+	case PlacePacked:
+		return "packed"
+	case PlaceColocate:
+		return "colocate"
+	case PlaceScavenge:
+		return "scavenge"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a Cloud.
+type Options struct {
+	Seed       int64
+	NetProfile simnet.Profile
+	ClusterCfg cluster.Config
+	// Replicas is the state replication factor (one per rack by default).
+	Replicas int
+	Media    store.MediaProfile
+	Policy   PlacementPolicy
+	// FaaS tuning.
+	IdleTimeout  sim.Duration
+	EvictionProb float64
+	// AntiEntropyInterval > 0 starts background gossip.
+	AntiEntropyInterval sim.Duration
+	// GPUMemMB sizes each GPU node's device memory.
+	GPUMemMB int64
+}
+
+// DefaultOptions returns a representative mid-size deployment.
+func DefaultOptions() Options {
+	return Options{
+		Seed:       1,
+		NetProfile: simnet.DC2021,
+		ClusterCfg: cluster.DefaultConfig,
+		Replicas:   3,
+		Media:      store.NVMe,
+		Policy:     PlaceColocate,
+		GPUMemMB:   16384,
+	}
+}
+
+// Cloud is one PCSI deployment.
+type Cloud struct {
+	opts Options
+	env  *sim.Env
+	net  *simnet.Network
+	cl   *cluster.Cluster
+	grp  *consistency.Group
+	rt   *faas.Runtime
+	caps *capability.Registry
+	col  *gc.Collector
+
+	fnRefs   map[string]Ref // function name -> code object ref
+	fnByCode map[object.ID]string
+	nsRoots  map[object.ID]struct{}
+	devices  map[simnet.NodeID]*platform.Device
+
+	// caches holds per-node copies of cache-stable object content (§3.3:
+	// once frozen, "content ... may be safely cached anywhere"). A write
+	// stages the data on the writer's node; freezing to IMMUTABLE promotes
+	// the staged copy, after which same-node reads are served locally —
+	// the mechanism behind §4.1's co-location win.
+	caches map[simnet.NodeID]map[object.ID]*cacheEntry
+
+	// ephem holds node-local, unreplicated objects (see ephemeral.go).
+	ephem      map[object.ID]*ephemObj
+	ephemDrops object.ID
+
+	// Meters and counters shared by experiments.
+	Meter   *cost.Meter
+	DataLat *metrics.Histogram
+	// BytesMoved tallies payload bytes that crossed the network on data
+	// operations (E4's data-movement metric).
+	BytesMoved int64
+	// CacheHits counts local reads served from a node cache.
+	CacheHits int64
+}
+
+type cacheEntry struct {
+	data   []byte
+	stable bool // frozen IMMUTABLE: safe to serve
+}
+
+// New builds a Cloud.
+func New(opts Options) *Cloud {
+	if opts.Replicas <= 0 {
+		opts.Replicas = 3
+	}
+	if opts.Media.Name == "" {
+		opts.Media = store.NVMe
+	}
+	if opts.GPUMemMB <= 0 {
+		opts.GPUMemMB = 16384
+	}
+	env := sim.NewEnv(opts.Seed)
+	net := simnet.New(env, opts.NetProfile)
+	cl := cluster.New(env, net, opts.ClusterCfg)
+
+	// Storage replicas spread across racks on dedicated storage nodes.
+	var storageNodes []simnet.NodeID
+	for i := 0; i < opts.Replicas; i++ {
+		rack := i % maxInt(opts.ClusterCfg.Racks, 1)
+		storageNodes = append(storageNodes, net.AddNode(rack))
+	}
+	grp := consistency.NewGroup(env, net, storageNodes, opts.Media)
+
+	c := &Cloud{
+		opts:    opts,
+		env:     env,
+		net:     net,
+		cl:      cl,
+		grp:     grp,
+		caps:    capability.NewRegistry(),
+		fnRefs:  make(map[string]Ref),
+		nsRoots: make(map[object.ID]struct{}),
+		devices: make(map[simnet.NodeID]*platform.Device),
+		caches:  make(map[simnet.NodeID]map[object.ID]*cacheEntry),
+		Meter:   cost.NewMeter("pcsi"),
+		DataLat: metrics.NewHistogram("pcsi_data_ops"),
+	}
+
+	var plc faas.Placer
+	switch opts.Policy {
+	case PlaceNaive:
+		plc = scheduler.Naive{C: cl}
+	case PlacePacked:
+		plc = scheduler.Packed{C: cl}
+	case PlaceScavenge:
+		plc = scheduler.Scavenge{C: cl, Fallback: scheduler.Packed{C: cl}}
+	default:
+		plc = scheduler.GPUAware{C: cl, Inner: scheduler.Colocate{C: cl}}
+	}
+	c.rt = faas.NewRuntime(cl, plc, faas.Config{
+		IdleTimeout:  opts.IdleTimeout,
+		CodeStore:    grp.Primary0Node(),
+		EvictionProb: opts.EvictionProb,
+	})
+
+	c.col = gc.New(grp.Primary0Store())
+	c.col.AddRoots(c.caps)
+	c.col.AddRoots(gc.RootsFunc(c.namespaceRoots))
+	c.col.AddRoots(gc.RootsFunc(c.functionRoots))
+
+	for _, n := range cl.Nodes() {
+		if n.HasGPU() {
+			c.devices[n.ID] = platform.NewDevice(opts.GPUMemMB)
+		}
+	}
+	if opts.AntiEntropyInterval > 0 {
+		grp.StartAntiEntropy(opts.AntiEntropyInterval)
+	}
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Env returns the simulation environment.
+func (c *Cloud) Env() *sim.Env { return c.env }
+
+// Net returns the datacenter network.
+func (c *Cloud) Net() *simnet.Network { return c.net }
+
+// Cluster returns the compute cluster.
+func (c *Cloud) Cluster() *cluster.Cluster { return c.cl }
+
+// Runtime returns the function runtime.
+func (c *Cloud) Runtime() *faas.Runtime { return c.rt }
+
+// Group returns the replicated state layer.
+func (c *Cloud) Group() *consistency.Group { return c.grp }
+
+// Caps returns the capability registry (tests/experiments).
+func (c *Cloud) Caps() *capability.Registry { return c.caps }
+
+// Device returns the GPU device memory attached to a node, or nil.
+func (c *Cloud) Device(n simnet.NodeID) *platform.Device { return c.devices[n] }
+
+// Ref is a PCSI reference: the sole way to reach objects (§3.2).
+type Ref struct {
+	cap capability.Ref
+	// lvl is the object's default consistency level, captured at open.
+	lvl consistency.Level
+}
+
+// Valid reports whether the reference was issued by a Cloud.
+func (r Ref) Valid() bool { return r.cap.Valid() }
+
+// Rights returns the reference's rights.
+func (r Ref) Rights() capability.Rights { return r.cap.Rights() }
+
+// ObjectID exposes the referenced object's ID (diagnostics).
+func (r Ref) ObjectID() object.ID { return r.cap.Object() }
+
+// Level returns the reference's default consistency level.
+func (r Ref) Level() consistency.Level { return r.lvl }
+
+// String renders the reference.
+func (r Ref) String() string { return fmt.Sprintf("pcsi-%v[%v]", r.cap.Object(), r.cap.Rights()) }
+
+// Errors returned by the PCSI API.
+var (
+	ErrInvalidRef = errors.New("core: invalid reference")
+	ErrNoSuchFn   = errors.New("core: unknown function")
+)
+
+// namespaceRoots contributes registered namespace roots to the GC.
+func (c *Cloud) namespaceRoots() []object.ID {
+	out := make([]object.ID, 0, len(c.nsRoots))
+	for id := range c.nsRoots {
+		out = append(out, id)
+	}
+	return out
+}
+
+// functionRoots keeps registered function code objects alive.
+func (c *Cloud) functionRoots() []object.ID {
+	out := make([]object.ID, 0, len(c.fnRefs))
+	for _, r := range c.fnRefs {
+		out = append(out, r.cap.Object())
+	}
+	return out
+}
+
+// cacheFor returns (creating) a node's local cache.
+func (c *Cloud) cacheFor(n simnet.NodeID) map[object.ID]*cacheEntry {
+	m, ok := c.caches[n]
+	if !ok {
+		m = make(map[object.ID]*cacheEntry)
+		c.caches[n] = m
+	}
+	return m
+}
+
+// Collect runs a GC cycle over the state layer, propagating sweeps to all
+// replicas and node caches, and returns the number of objects reclaimed.
+func (c *Cloud) Collect() int {
+	n := c.col.Collect()
+	c.grp.Delete(c.col.LastSweptIDs...)
+	for _, cache := range c.caches {
+		for _, id := range c.col.LastSweptIDs {
+			delete(cache, id)
+		}
+	}
+	return n + c.sweepEphemeral()
+}
+
+// Collector exposes GC statistics.
+func (c *Cloud) Collector() *gc.Collector { return c.col }

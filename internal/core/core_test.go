@@ -1,0 +1,739 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/capability"
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/faas"
+	"repro/internal/object"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func testCloud(seed int64) *Cloud {
+	opts := DefaultOptions()
+	opts.Seed = seed
+	opts.ClusterCfg = cluster.Config{
+		Racks: 2, NodesPerRack: 4,
+		NodeCap:         cluster.Resources{MilliCPU: 16000, MemMB: 32768},
+		GPUNodesPerRack: 1, GPUsPerGPUNode: 2,
+	}
+	opts.Media = store.DRAM
+	return New(opts)
+}
+
+// run drives fn inside a simulation process and runs the clock dry.
+func run(t *testing.T, c *Cloud, fn func(p *sim.Proc)) {
+	t.Helper()
+	c.Env().Go("test", fn)
+	c.Env().Run()
+}
+
+func TestCreatePutGet(t *testing.T) {
+	c := testCloud(1)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		ref, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, ref, []byte("hello pcsi")); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := client.Get(p, ref)
+		if err != nil || string(got) != "hello pcsi" {
+			t.Errorf("Get = %q, %v", got, err)
+		}
+		info, err := client.Stat(p, ref)
+		if err != nil || info.Size != 10 || info.Kind != object.Regular {
+			t.Errorf("Stat = %+v, %v", info, err)
+		}
+	})
+}
+
+func TestCapabilityGatesOperations(t *testing.T) {
+	c := testCloud(2)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		ref, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ro, err := client.Attenuate(ref, capability.Read)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, ro, []byte("x")); err == nil {
+			t.Error("write through read-only reference succeeded")
+		}
+		if _, err := client.Get(p, ro); err != nil {
+			t.Errorf("read through read-only reference failed: %v", err)
+		}
+		// Zero ref is rejected.
+		if _, err := client.Get(p, Ref{}); !errors.Is(err, ErrInvalidRef) {
+			t.Errorf("zero ref err = %v", err)
+		}
+	})
+}
+
+func TestRevocation(t *testing.T) {
+	c := testCloud(3)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		ref, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		shared, err := client.Attenuate(ref, capability.Read)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Revoke(ref); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := client.Get(p, shared); err == nil {
+			t.Error("revoked reference still works")
+		}
+	})
+}
+
+func TestMutabilityThroughAPI(t *testing.T) {
+	c := testCloud(4)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		ref, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, ref, []byte("v1")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Freeze(p, ref, object.Immutable); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, ref, []byte("v2")); !errors.Is(err, object.ErrImmutable) {
+			t.Errorf("write to frozen object err = %v", err)
+		}
+		m, err := client.Mutability(p, ref)
+		if err != nil || m != object.Immutable {
+			t.Errorf("Mutability = %v, %v", m, err)
+		}
+	})
+}
+
+func TestConsistencyMenuPerObject(t *testing.T) {
+	c := testCloud(5)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		strong, err := client.Create(p, object.Regular, WithConsistency(consistency.Linearizable))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		weak, err := client.Create(p, object.Regular, WithConsistency(consistency.Eventual))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if strong.Level() != consistency.Linearizable || weak.Level() != consistency.Eventual {
+			t.Error("levels not captured on references")
+		}
+		// Writes at both levels succeed and strong read-own-write holds.
+		if err := client.Put(p, strong, []byte("s")); err != nil {
+			t.Error(err)
+		}
+		if err := client.Put(p, weak, []byte("w")); err != nil {
+			t.Error(err)
+		}
+		got, err := client.Get(p, strong)
+		if err != nil || string(got) != "s" {
+			t.Errorf("strong read = %q, %v", got, err)
+		}
+	})
+}
+
+func TestNamespaceCreateOpenAcrossClients(t *testing.T) {
+	c := testCloud(6)
+	alice := c.NewClient(0)
+	bob := c.NewClient(1)
+	run(t, c, func(p *sim.Proc) {
+		ns, _, err := alice.NewNamespace(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ref, err := ns.CreateAt(p, alice, "data/models/resnet", object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := alice.Put(p, ref, []byte("weights")); err != nil {
+			t.Error(err)
+			return
+		}
+		// Bob opens by path with read rights only.
+		bobRef, err := ns.Open(p, bob, "data/models/resnet", capability.Read)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := bob.Get(p, bobRef)
+		if err != nil || string(got) != "weights" {
+			t.Errorf("bob read = %q, %v", got, err)
+		}
+		if err := bob.Put(p, bobRef, []byte("evil")); err == nil {
+			t.Error("bob wrote through a read-only path open")
+		}
+	})
+}
+
+func TestUnionNamespaceLayering(t *testing.T) {
+	c := testCloud(7)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		base, _, err := client.NewNamespace(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfgRef, err := base.CreateAt(p, client, "etc/conf", object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, cfgRef, []byte("base")); err != nil {
+			t.Error(err)
+			return
+		}
+		upper, _, err := client.Union(p, base)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if upper.Layers() != 2 {
+			t.Errorf("Layers = %d", upper.Layers())
+		}
+		// Write through the union: copy-up; base unchanged.
+		wRef, err := upper.Open(p, client, "etc/conf", capability.Read|capability.Write)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, wRef, []byte("override")); err != nil {
+			t.Error(err)
+			return
+		}
+		baseRef, err := base.Open(p, client, "etc/conf", capability.Read)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := client.Get(p, baseRef)
+		if err != nil || string(got) != "base" {
+			t.Errorf("base layer = %q, %v (copy-up leaked)", got, err)
+		}
+		uRef, err := upper.Open(p, client, "etc/conf", capability.Read)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, err = client.Get(p, uRef)
+		if err != nil || string(got) != "override" {
+			t.Errorf("union read = %q, %v", got, err)
+		}
+	})
+}
+
+func TestFunctionInvokeWithDataLayer(t *testing.T) {
+	c := testCloud(8)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		fnRef, err := client.RegisterFunction(p, FnConfig{
+			Name: "double", Kind: platform.Wasm,
+			Handler: func(fc *FnCtx) error {
+				in, err := fc.Client.Get(fc.Proc(), fc.Inputs[0])
+				if err != nil {
+					return err
+				}
+				return fc.Client.Put(fc.Proc(), fc.Outputs[0], append(in, in...))
+			},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		in, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, in, []byte("ab")); err != nil {
+			t.Error(err)
+			return
+		}
+		inRO, err := client.Attenuate(in, capability.Read)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := client.Invoke(p, fnRef, InvokeArgs{Inputs: []Ref{inRO}, Outputs: []Ref{out}}); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := client.Get(p, out)
+		if err != nil || !bytes.Equal(got, []byte("abab")) {
+			t.Errorf("function output = %q, %v", got, err)
+		}
+	})
+}
+
+func TestInvokeRequiresExecRight(t *testing.T) {
+	c := testCloud(9)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		fnRef, err := client.RegisterFunction(p, FnConfig{
+			Name: "noop", Kind: platform.Wasm,
+			Handler: func(*FnCtx) error { return nil },
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ro, err := client.Attenuate(fnRef, capability.Read)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := client.Invoke(p, ro, InvokeArgs{}); err == nil {
+			t.Error("invoke without Exec right succeeded")
+		}
+		// A data object is not a function.
+		data, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := client.Invoke(p, data, InvokeArgs{}); !errors.Is(err, ErrNoSuchFn) {
+			t.Errorf("invoke of data object err = %v", err)
+		}
+	})
+}
+
+func TestRunGraphPipelines(t *testing.T) {
+	c := testCloud(10)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		mk := func(name string, d time.Duration) Ref {
+			ref, err := client.RegisterFunction(p, FnConfig{
+				Name: name, Kind: platform.Wasm,
+				Handler: func(fc *FnCtx) error {
+					fc.Proc().Sleep(d)
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ref
+		}
+		a := mk("stage-a", time.Millisecond)
+		b := mk("stage-b", time.Millisecond)
+		results, err := client.RunGraph(p, []GraphTask{
+			{Name: "a", Fn: a},
+			{Name: "b", Fn: b, After: []string{"a"}, Colocate: true},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if results["b"].Start < results["a"].End {
+			t.Error("graph order violated")
+		}
+		if results["a"].Instance.Node.ID != results["b"].Instance.Node.ID {
+			t.Error("colocated tasks on different nodes under Colocate policy")
+		}
+	})
+}
+
+func TestGCReclaimsDroppedObjects(t *testing.T) {
+	c := testCloud(11)
+	client := c.NewClient(0)
+	var ref Ref
+	run(t, c, func(p *sim.Proc) {
+		var err error
+		ref, err = client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, ref, make([]byte, 4096)); err != nil {
+			t.Error(err)
+		}
+	})
+	id := ref.ObjectID()
+	if n := c.Collect(); n != 0 {
+		t.Fatalf("collected %d objects with live refs", n)
+	}
+	client.Drop(ref)
+	if n := c.Collect(); n != 1 {
+		t.Fatalf("collected %d after drop, want 1", n)
+	}
+	// Swept from every replica.
+	for i, r := range c.Group().Replicas() {
+		if r.St.Contains(id) {
+			t.Errorf("replica %d still holds swept object", i)
+		}
+	}
+}
+
+func TestGCKeepsNamespaceContents(t *testing.T) {
+	c := testCloud(12)
+	client := c.NewClient(0)
+	var ns *NS
+	var rootRef Ref
+	run(t, c, func(p *sim.Proc) {
+		var err error
+		ns, rootRef, err = client.NewNamespace(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ref, err := ns.CreateAt(p, client, "keep/me", object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Even after dropping the direct reference, the namespace keeps the
+		// object alive.
+		client.Drop(ref)
+	})
+	if n := c.Collect(); n != 0 {
+		t.Fatalf("collected %d objects reachable via namespace", n)
+	}
+	// Dropping both the namespace registration and the root capability
+	// makes the subtree garbage.
+	ns.DropRoot()
+	client.Drop(rootRef)
+	if n := c.Collect(); n < 3 { // root dir + "keep" dir + "me" object
+		t.Errorf("collected %d after root drop, want >= 3", n)
+	}
+}
+
+func TestFIFOPlumbing(t *testing.T) {
+	c := testCloud(13)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		fifo, err := client.Create(p, object.FIFO)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Producer and consumer processes.
+		c.Env().Go("producer", func(pp *sim.Proc) {
+			pp.Sleep(time.Millisecond)
+			for i := 0; i < 3; i++ {
+				if err := client.Push(pp, fifo, []byte{byte('a' + i)}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		var got []string
+		for i := 0; i < 3; i++ {
+			msg, err := client.Pop(p, fifo)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, string(msg))
+		}
+		want := []string{"a", "b", "c"}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("fifo order = %v", got)
+			}
+		}
+	})
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	c := testCloud(14)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		ref, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		before := c.BytesMoved
+		if err := client.Put(p, ref, make([]byte, 1000)); err != nil {
+			t.Error(err)
+			return
+		}
+		if c.BytesMoved-before != 1000 {
+			t.Errorf("BytesMoved delta = %d, want 1000", c.BytesMoved-before)
+		}
+	})
+}
+
+func TestReadAtPartial(t *testing.T) {
+	c := testCloud(15)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		ref, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, ref, []byte("0123456789")); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := client.ReadAt(p, ref, 3, 4)
+		if err != nil || string(got) != "3456" {
+			t.Errorf("ReadAt = %q, %v", got, err)
+		}
+	})
+}
+
+func TestDeviceWiring(t *testing.T) {
+	c := testCloud(16)
+	found := 0
+	for _, n := range c.Cluster().Nodes() {
+		if n.HasGPU() {
+			if c.Device(n.ID) == nil {
+				t.Errorf("GPU node %d has no device memory", n.ID)
+			}
+			found++
+		} else if c.Device(n.ID) != nil {
+			t.Errorf("non-GPU node %d has device memory", n.ID)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no GPU nodes in test cluster")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range []PlacementPolicy{PlaceNaive, PlacePacked, PlaceColocate, PlaceScavenge} {
+		if p.String() == "unknown" {
+			t.Errorf("policy %d unnamed", p)
+		}
+	}
+}
+
+func TestCacheStableLocalReads(t *testing.T) {
+	c := testCloud(17)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		ref, err := client.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, ref, make([]byte, 4096)); err != nil {
+			t.Error(err)
+			return
+		}
+		// Not yet frozen: reads must go remote (coherence).
+		if _, err := client.Get(p, ref); err != nil {
+			t.Error(err)
+			return
+		}
+		if c.CacheHits != 0 {
+			t.Error("mutable object served from cache")
+		}
+		if err := client.Freeze(p, ref, object.Immutable); err != nil {
+			t.Error(err)
+			return
+		}
+		before := c.BytesMoved
+		start := p.Now()
+		if _, err := client.Get(p, ref); err != nil {
+			t.Error(err)
+			return
+		}
+		local := p.Now().Sub(start)
+		if c.CacheHits != 1 {
+			t.Errorf("CacheHits = %d, want 1", c.CacheHits)
+		}
+		if c.BytesMoved != before {
+			t.Error("cached read moved bytes over the network")
+		}
+		if local > 50*time.Microsecond {
+			t.Errorf("cached read took %v, want local-memory time", local)
+		}
+	})
+}
+
+func TestCachePullThroughOnRemoteNode(t *testing.T) {
+	c := testCloud(18)
+	writer := c.NewClient(0)
+	reader := c.NewClient(1)
+	run(t, c, func(p *sim.Proc) {
+		ref, err := writer.Create(p, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := writer.Put(p, ref, []byte("frozen-data")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := writer.Freeze(p, ref, object.Immutable); err != nil {
+			t.Error(err)
+			return
+		}
+		ro, err := writer.Attenuate(ref, capability.Read)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// First remote read pulls through; second is a local hit.
+		if _, err := reader.Get(p, ro); err != nil {
+			t.Error(err)
+			return
+		}
+		hitsBefore := c.CacheHits
+		got, err := reader.Get(p, ro)
+		if err != nil || string(got) != "frozen-data" {
+			t.Errorf("Get = %q, %v", got, err)
+		}
+		if c.CacheHits != hitsBefore+1 {
+			t.Errorf("second read not served from cache")
+		}
+	})
+}
+
+func TestSocketPlumbing(t *testing.T) {
+	c := testCloud(19)
+	front := c.NewClient(0) // the load balancer / connection owner
+	run(t, c, func(p *sim.Proc) {
+		conn, err := front.Create(p, object.Socket)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// A serving function gets the server end via an attenuated ref.
+		fnRef, err := front.RegisterFunction(p, FnConfig{
+			Name: "http-server", Kind: platform.Wasm,
+			Handler: func(fc *FnCtx) error {
+				req, err := fc.Client.SockRecv(fc.Proc(), fc.Inputs[0], ServerEnd)
+				if err != nil {
+					return err
+				}
+				resp := append([]byte("HTTP/1.1 200 OK\n\n"), req...)
+				return fc.Client.SockSend(fc.Proc(), fc.Inputs[0], ServerEnd, resp)
+			},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		connRW, err := front.Attenuate(conn, capability.Read|capability.Write)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Client writes the request, invokes the function, reads response.
+		if err := front.SockSend(p, conn, ClientEnd, []byte("GET /")); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := front.Invoke(p, fnRef, InvokeArgs{Inputs: []Ref{connRW}}); err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := front.SockRecv(p, conn, ClientEnd)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if string(resp) != "HTTP/1.1 200 OK\n\nGET /" {
+			t.Errorf("response = %q", resp)
+		}
+		if err := front.SockClose(p, conn); err != nil {
+			t.Error(err)
+		}
+		if err := front.SockSend(p, conn, ClientEnd, []byte("late")); !errors.Is(err, object.ErrSockClosed) {
+			t.Errorf("send after close = %v", err)
+		}
+	})
+}
+
+func TestEphemeralSocket(t *testing.T) {
+	c := testCloud(20)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		conn, err := client.Create(p, object.Socket, WithEphemeral())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.SockSend(p, conn, ClientEnd, []byte("fast-path")); err != nil {
+			t.Error(err)
+			return
+		}
+		msg, err := client.SockRecv(p, conn, ServerEnd)
+		if err != nil || string(msg) != "fast-path" {
+			t.Errorf("recv = %q, %v", msg, err)
+		}
+	})
+}
+
+func TestVariantOptimizerThroughAPI(t *testing.T) {
+	c := testCloud(21)
+	client := c.NewClient(0)
+	run(t, c, func(p *sim.Proc) {
+		fn, err := client.RegisterFunction(p, FnConfig{
+			Name: "transcode", Kind: platform.Wasm,
+			TypicalExec: 200 * time.Millisecond,
+			Variants: []faas.Variant{
+				{Name: "wasm", Kind: platform.Wasm, Res: cluster.Resources{MilliCPU: 1000, MemMB: 256}, SpeedFactor: 1},
+				{Name: "gpu", Kind: platform.GPU, Res: cluster.Resources{GPUs: 1}, SpeedFactor: 5},
+			},
+			Handler: func(fc *FnCtx) error {
+				fc.Proc().Sleep(fc.Inv.Scale(200 * time.Millisecond))
+				return nil
+			},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Cost goal: cheap wasm implementation.
+		inst, err := client.Invoke(p, fn, InvokeArgs{Goal: faas.GoalCost})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if inst.Variant().Name != "wasm" {
+			t.Errorf("GoalCost ran %q", inst.Variant().Name)
+		}
+		// Same function reference, same handler — a different goal can
+		// transparently use different hardware (drop-in replacement).
+		if _, err := client.Invoke(p, fn, InvokeArgs{Goal: faas.GoalLatency}); err != nil {
+			t.Errorf("latency-goal invoke failed: %v", err)
+		}
+	})
+}

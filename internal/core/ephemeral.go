@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+// Ephemeral objects implement §3.2's observation that "PCSI only describes
+// an interface to state, underlying implementations may vary ... This
+// could mean storage on disk in multiple datacenters or keeping just one
+// copy in the memory of a GPU." An ephemeral object lives in the memory
+// of the node that created it — no replication, no durability — yet is
+// reached through exactly the same reference API as replicated objects.
+// Task-graph intermediates use them: when producer and consumer are
+// co-scheduled, data movement drops to zero network bytes (§4.1).
+
+// ErrEphemeralNS is returned when binding an ephemeral object into a
+// namespace, which only persists durable objects.
+var ErrEphemeralNS = errors.New("core: ephemeral objects cannot be bound into namespaces")
+
+// ephemBase offsets ephemeral IDs far above the replicated ID space.
+const ephemBase object.ID = 1 << 40
+
+type ephemObj struct {
+	owner simnet.NodeID
+	obj   *object.Object
+}
+
+// WithEphemeral makes the created object node-local and unreplicated:
+// cheap, single-copy state for task intermediates.
+func WithEphemeral() CreateOpt {
+	return func(p *createParams) { p.ephemeral = true }
+}
+
+func (c *Cloud) newEphem(owner simnet.NodeID, kind object.Kind) object.ID {
+	if c.ephem == nil {
+		c.ephem = make(map[object.ID]*ephemObj)
+	}
+	id := ephemBase + object.ID(len(c.ephem)) + c.ephemDrops
+	c.ephem[id] = &ephemObj{owner: owner, obj: object.New(id, kind)}
+	return id
+}
+
+// ephemOf returns the ephemeral entry behind a reference, if any.
+func (c *Cloud) ephemOf(id object.ID) (*ephemObj, bool) {
+	e, ok := c.ephem[id]
+	return e, ok
+}
+
+// ephemAccess charges the cost of touching an ephemeral object from a
+// node: local memory when on the owner, one exchange with the owner
+// otherwise. size is the payload crossing the boundary.
+func (cl *Client) ephemAccess(p *sim.Proc, e *ephemObj, sendSize, recvSize int) {
+	if cl.node == e.owner {
+		cl.c.CacheHits++
+		p.Sleep(store.DRAM.ReadCost(int64(sendSize + recvSize)))
+		return
+	}
+	cl.c.net.Send(p, cl.node, e.owner, 64+sendSize)
+	p.Sleep(store.DRAM.ReadCost(int64(sendSize + recvSize)))
+	cl.c.net.Send(p, e.owner, cl.node, 64+recvSize)
+	cl.c.BytesMoved += int64(sendSize + recvSize)
+}
+
+// ephemMutate runs a mutation against an ephemeral object.
+func (cl *Client) ephemMutate(p *sim.Proc, e *ephemObj, size int, fn func(*object.Object) error) error {
+	start := p.Now()
+	if err := fn(e.obj); err != nil {
+		return err
+	}
+	cl.ephemAccess(p, e, size, 0)
+	cl.observe(p, start)
+	return nil
+}
+
+// ephemView runs a read against an ephemeral object.
+func (cl *Client) ephemView(p *sim.Proc, e *ephemObj, recvSize int, fn func(*object.Object) error) error {
+	start := p.Now()
+	if err := fn(e.obj); err != nil {
+		return err
+	}
+	cl.ephemAccess(p, e, 0, recvSize)
+	cl.observe(p, start)
+	return nil
+}
+
+// sweepEphemeral drops ephemeral objects with no live references.
+func (c *Cloud) sweepEphemeral() int {
+	if len(c.ephem) == 0 {
+		return 0
+	}
+	live := make(map[object.ID]bool)
+	for _, id := range c.caps.Roots() {
+		live[id] = true
+	}
+	n := 0
+	for id := range c.ephem {
+		if !live[id] {
+			delete(c.ephem, id)
+			c.ephemDrops++
+			n++
+		}
+	}
+	return n
+}
+
+// EphemeralCount reports live ephemeral objects (tests/diagnostics).
+func (c *Cloud) EphemeralCount() int { return len(c.ephem) }
+
+// ephemString describes an ephemeral entry.
+func (e *ephemObj) String() string {
+	return fmt.Sprintf("ephem(%v@node%d)", e.obj.ID(), e.owner)
+}

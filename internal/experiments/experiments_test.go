@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run green: the shape checks ARE the reproduction
+// criteria ("who wins, by roughly what factor"). E1 performs wall-clock
+// measurements and can be noisy on loaded machines, so its measured rows
+// get a retry.
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12 (E1–E12)", len(all))
+	}
+	for i, e := range all {
+		if e.ID != "E"+itoa(i+1) {
+			t.Errorf("experiment %d has ID %s, want E%d (ordering)", i, e.ID, i+1)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if _, ok := Get("E2"); !ok {
+		t.Error("Get(E2) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func runAndCheck(t *testing.T, id string, retries int) *Report {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	var rep *Report
+	for attempt := 0; attempt <= retries; attempt++ {
+		rep = e.Run(1)
+		if rep.Passed() {
+			break
+		}
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			t.Errorf("%s check %q failed: %s", id, c.Name, c.Detail)
+		}
+	}
+	if len(rep.Tables) == 0 {
+		t.Errorf("%s produced no tables", id)
+	}
+	return rep
+}
+
+func TestE1Table1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurements")
+	}
+	rep := runAndCheck(t, "E1", 2)
+	out := render(rep)
+	for _, want := range []string{"2021 data center network RTT", "WebAssembly", "hypervisor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing row %q", want)
+		}
+	}
+}
+
+func TestE2Fetch(t *testing.T)         { runAndCheck(t, "E2", 0) }
+func TestE3Mutability(t *testing.T)    { runAndCheck(t, "E3", 0) }
+func TestE4Pipeline(t *testing.T)      { runAndCheck(t, "E4", 0) }
+func TestE5Scavenge(t *testing.T)      { runAndCheck(t, "E5", 0) }
+func TestE6Consistency(t *testing.T)   { runAndCheck(t, "E6", 0) }
+func TestE7Granularity(t *testing.T)   { runAndCheck(t, "E7", 0) }
+func TestE8Auth(t *testing.T)          { runAndCheck(t, "E8", 0) }
+func TestE9Autoscale(t *testing.T)     { runAndCheck(t, "E9", 0) }
+func TestE10GC(t *testing.T)           { runAndCheck(t, "E10", 0) }
+func TestE11Availability(t *testing.T) { runAndCheck(t, "E11", 0) }
+func TestE12Variants(t *testing.T)     { runAndCheck(t, "E12", 0) }
+
+func render(r *Report) string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// Determinism: simulated experiments must render identically for the same
+// seed. (E1 is excluded: it measures wall-clock time.)
+func TestDeterministicBySeed(t *testing.T) {
+	for _, id := range []string{"E2", "E4", "E6", "E7"} {
+		e, _ := Get(id)
+		a := render(e.Run(42))
+		b := render(e.Run(42))
+		if a != b {
+			t.Errorf("%s not deterministic for fixed seed", id)
+		}
+	}
+}
+
+func TestDifferentSeedStillPasses(t *testing.T) {
+	for _, id := range []string{"E2", "E4", "E10"} {
+		e, _ := Get(id)
+		rep := e.Run(99)
+		if !rep.Passed() {
+			for _, c := range rep.Checks {
+				if !c.Pass {
+					t.Errorf("%s seed=99 check %q failed: %s", id, c.Name, c.Detail)
+				}
+			}
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "EX", Title: "example"}
+	r.Check("good", true, "fine")
+	r.Check("bad", false, "broken %d", 7)
+	out := render(r)
+	if !strings.Contains(out, "[PASS] good") || !strings.Contains(out, "[FAIL] bad — broken 7") {
+		t.Errorf("render output:\n%s", out)
+	}
+	if r.Passed() {
+		t.Error("Passed() with failing check")
+	}
+}

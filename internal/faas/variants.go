@@ -1,0 +1,147 @@
+package faas
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/platform"
+)
+
+// Variants implement §3.1's universal compute interface: "Multiple
+// implementations of the same function can even be provided
+// simultaneously, allowing an optimizer to choose dynamically among them
+// to meet performance and cost goals." A Function may carry several
+// Variant implementations — say a cheap Wasm build and a fast GPU build —
+// and each invocation names a Goal; the runtime picks the implementation.
+
+// Variant is one implementation of a function.
+type Variant struct {
+	// Name labels the implementation ("wasm", "gpu-fp16", ...).
+	Name string
+	Kind platform.Kind
+	// Res is the per-instance resource demand beyond the platform
+	// baseline.
+	Res cluster.Resources
+	// SpeedFactor scales the function's modelled compute time: a variant
+	// with SpeedFactor 8 runs the same work 8x faster than baseline.
+	SpeedFactor float64
+}
+
+// Goal states what an invocation wants optimised.
+type Goal uint8
+
+// The optimisation goals.
+const (
+	// GoalDefault keeps the legacy behaviour: the function's primary
+	// implementation, warm instances preferred.
+	GoalDefault Goal = iota
+	// GoalLatency minimises expected completion time (warm fast variants
+	// win; cold starts are charged against candidates).
+	GoalLatency
+	// GoalCost minimises expected dollars for the invocation.
+	GoalCost
+)
+
+// String names the goal.
+func (g Goal) String() string {
+	switch g {
+	case GoalLatency:
+		return "latency"
+	case GoalCost:
+		return "cost"
+	default:
+		return "default"
+	}
+}
+
+// variantFootprint is the variant's total demand.
+func variantFootprint(v Variant) cluster.Resources {
+	return platform.Specs(v.Kind).Footprint.Add(v.Res)
+}
+
+// variants returns the function's implementation list; a function without
+// explicit variants has exactly one, synthesised from its own fields.
+func variants(fn *Function) []Variant {
+	if len(fn.Variants) > 0 {
+		return fn.Variants
+	}
+	return []Variant{{Name: "primary", Kind: fn.Kind, Res: fn.Res, SpeedFactor: 1}}
+}
+
+// estimate returns the optimizer's expected latency and cost for running
+// one invocation on variant v, given whether a warm instance exists.
+func (rt *Runtime) estimate(fn *Function, v Variant, warm bool) (time.Duration, cost.USD) {
+	speed := v.SpeedFactor
+	if speed <= 0 {
+		speed = 1
+	}
+	exec := fn.TypicalExec
+	if exec <= 0 {
+		exec = 10 * time.Millisecond
+	}
+	exec = time.Duration(float64(exec) / speed)
+	spec := platform.Specs(v.Kind)
+	lat := spec.InvokeOverhead + exec
+	if !warm {
+		lat += spec.ColdStart
+	}
+	fp := variantFootprint(v)
+	usd := cost.ComputeBook.ComputeCost(fp.MilliCPU, fp.MemMB, fp.GPUs, exec, false)
+	return lat, usd
+}
+
+// promotionThreshold is the sustained-traffic point at which the latency
+// optimizer evaluates variants at steady state: with enough calls, a cold
+// start amortises, so it pays to boot the faster implementation now
+// (INFaaS-style promotion).
+const promotionThreshold = 3
+
+// chooseVariant picks the implementation for this invocation.
+func (rt *Runtime) chooseVariant(fn *Function, goal Goal) int {
+	vs := variants(fn)
+	if len(vs) == 1 || goal == GoalDefault {
+		return 0
+	}
+	if rt.fnInvokes == nil {
+		rt.fnInvokes = make(map[string]int64)
+	}
+	rt.fnInvokes[fn.Name]++
+	steady := goal == GoalLatency && rt.fnInvokes[fn.Name] > promotionThreshold
+	best := 0
+	var bestLat time.Duration
+	var bestCost cost.USD
+	for i, v := range vs {
+		warm := rt.hasWarmVariant(fn, i) || steady
+		lat, usd := rt.estimate(fn, v, warm)
+		if i == 0 {
+			bestLat, bestCost = lat, usd
+			continue
+		}
+		switch goal {
+		case GoalLatency:
+			if lat < bestLat {
+				best, bestLat, bestCost = i, lat, usd
+			}
+		case GoalCost:
+			if usd < bestCost {
+				best, bestLat, bestCost = i, lat, usd
+			}
+		}
+	}
+	return best
+}
+
+// hasWarmVariant reports whether an idle (or shareable) instance of the
+// given variant exists.
+func (rt *Runtime) hasWarmVariant(fn *Function, variant int) bool {
+	for _, in := range rt.pool[fn.Name] {
+		if in.variant != variant {
+			continue
+		}
+		if in.state == instIdle || (in.state == instBusy && in.inflight < fn.Concurrency) {
+			return true
+		}
+	}
+	return false
+}

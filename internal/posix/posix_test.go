@@ -1,0 +1,226 @@
+package posix
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func setup(seed int64) (*sim.Env, *simnet.Network) {
+	env := sim.NewEnv(seed)
+	return env, simnet.New(env, simnet.DC2021)
+}
+
+func TestLocalReadWrite(t *testing.T) {
+	env, net := setup(1)
+	fs := NewLocal(net, net.AddNode(0))
+	env.Go("c", func(p *sim.Proc) {
+		if err := fs.Creat(p, "f"); err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := fs.Open(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := fs.Write(p, fd, []byte("hello")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fs.Seek(fd, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 5)
+		n, err := fs.Read(p, fd, buf)
+		if err != nil || n != 5 || string(buf) != "hello" {
+			t.Errorf("Read = %d %q %v", n, buf, err)
+		}
+		if err := fs.Close(fd); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+}
+
+func TestErrnoStyleErrors(t *testing.T) {
+	env, net := setup(2)
+	fs := NewLocal(net, net.AddNode(0))
+	env.Go("c", func(p *sim.Proc) {
+		if _, err := fs.Open(p, "ghost"); !errors.Is(err, ErrNoEnt) {
+			t.Errorf("open missing = %v", err)
+		}
+		if err := fs.Creat(p, "f"); err != nil {
+			t.Error(err)
+		}
+		if err := fs.Creat(p, "f"); !errors.Is(err, ErrExists) {
+			t.Errorf("double creat = %v", err)
+		}
+		if _, err := fs.Read(p, 99, nil); !errors.Is(err, ErrBadFD) {
+			t.Errorf("bad fd read = %v", err)
+		}
+		if err := fs.Close(99); !errors.Is(err, ErrBadFD) {
+			t.Errorf("bad fd close = %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestLocalOpsAreFast(t *testing.T) {
+	// Table 1: a system call is ~500ns; local operations must stay in the
+	// microsecond range.
+	env, net := setup(3)
+	fs := NewLocal(net, net.AddNode(0))
+	var took time.Duration
+	env.Go("c", func(p *sim.Proc) {
+		if err := fs.Creat(p, "f"); err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := fs.Open(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start := p.Now()
+		if _, err := fs.Write(p, fd, make([]byte, 64)); err != nil {
+			t.Error(err)
+		}
+		took = p.Now().Sub(start)
+	})
+	env.Run()
+	if took > 100*time.Microsecond {
+		t.Errorf("local write = %v, want microseconds", took)
+	}
+}
+
+func TestRemoteSameInterfaceHiddenCost(t *testing.T) {
+	// §2.2: the identical interface, silently paying cross-rack RTTs.
+	env, net := setup(4)
+	client, server := net.AddNode(0), net.AddNode(1)
+	local := NewLocal(net, client)
+	remote := NewRemote(net, client, server)
+	var localT, remoteT time.Duration
+	env.Go("c", func(p *sim.Proc) {
+		for _, tc := range []struct {
+			fs  *FS
+			out *time.Duration
+		}{{local, &localT}, {remote, &remoteT}} {
+			if err := tc.fs.Creat(p, "f"); err != nil {
+				t.Error(err)
+				return
+			}
+			fd, err := tc.fs.Open(p, "f")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			start := p.Now()
+			if _, err := tc.fs.Write(p, fd, make([]byte, 64)); err != nil {
+				t.Error(err)
+			}
+			*tc.out = p.Now().Sub(start)
+		}
+	})
+	env.Run()
+	if remoteT < 10*localT {
+		t.Errorf("remote write %v not ≫ local %v — hidden cost missing", remoteT, localT)
+	}
+}
+
+func TestUnreachableRemoteReturnsEIO(t *testing.T) {
+	// The paper's NFS criticism: a dead server produces errors (after a
+	// timeout) that no local file system would return.
+	env, net := setup(5)
+	fs := NewRemote(net, net.AddNode(0), net.AddNode(1))
+	env.Go("c", func(p *sim.Proc) {
+		if err := fs.Creat(p, "f"); err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := fs.Open(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fs.SetReachable(false)
+		start := p.Now()
+		_, err = fs.Read(p, fd, make([]byte, 1))
+		if !errors.Is(err, ErrEIO) {
+			t.Errorf("dead-server read = %v, want EIO", err)
+		}
+		if p.Now().Sub(start) < time.Second {
+			t.Error("EIO did not block for the timeout — too honest for POSIX")
+		}
+	})
+	env.Run()
+}
+
+func TestSeekValidation(t *testing.T) {
+	env, net := setup(6)
+	fs := NewLocal(net, net.AddNode(0))
+	env.Go("c", func(p *sim.Proc) {
+		if err := fs.Creat(p, "f"); err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := fs.Open(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fs.Seek(fd, -1); err == nil {
+			t.Error("negative seek accepted")
+		}
+		if err := fs.Seek(99, 0); !errors.Is(err, ErrBadFD) {
+			t.Errorf("seek on bad fd = %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestSparseWrite(t *testing.T) {
+	env, net := setup(7)
+	fs := NewLocal(net, net.AddNode(0))
+	env.Go("c", func(p *sim.Proc) {
+		if err := fs.Creat(p, "f"); err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := fs.Open(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fs.Seek(fd, 4); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := fs.Write(p, fd, []byte("xy")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fs.Seek(fd, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 6)
+		n, err := fs.Read(p, fd, buf)
+		if err != nil || n != 6 {
+			t.Errorf("Read = %d, %v", n, err)
+			return
+		}
+		want := []byte{0, 0, 0, 0, 'x', 'y'}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Errorf("buf = %v, want %v", buf, want)
+				return
+			}
+		}
+	})
+	env.Run()
+}

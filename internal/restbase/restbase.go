@@ -1,0 +1,254 @@
+// Package restbase implements the web-services baseline of §2.1: a
+// stateless REST gateway in front of the replicated store.
+//
+// Every request pays the costs the paper attributes to today's cloud
+// APIs, each row traceable to Table 1:
+//
+//   - per-request connection establishment (statelessness ⇒ no session):
+//     socket overhead (5 µs) plus a TCP handshake round trip;
+//   - HTTP protocol processing (50 µs);
+//   - JSON envelope marshaling (>50 µs per KB);
+//   - per-request authentication and access-control re-checks against a
+//     remote auth service ("statelessness ... has consequences such as
+//     repeated access control checks");
+//   - internal request routing hops (load balancer, request router)
+//     before the storage backend is reached.
+//
+// The same package also provides real (wall-clock) loopback HTTP and TCP
+// helpers used by the Table 1 measured benchmarks.
+package restbase
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/cost"
+	"repro/internal/metrics"
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Table 1 calibrated protocol constants.
+const (
+	// SocketOverhead is Table 1's "Socket overhead: 5,000 ns", paid on
+	// every connection the stateless protocol opens.
+	SocketOverhead = 5 * time.Microsecond
+	// HTTPOverhead is Table 1's "HTTP protocol: 50,000 ns", paid per
+	// request and per response.
+	HTTPOverhead = 50 * time.Microsecond
+)
+
+// ErrAuth is returned when the per-request credential check fails.
+var ErrAuth = errors.New("restbase: authentication failed")
+
+// Config tunes a Gateway.
+type Config struct {
+	// Codec marshals requests and responses (JSON for the REST baseline).
+	Codec wire.Codec
+	// RoutingHops is the number of internal hops (LB, request router)
+	// between the front door and storage.
+	RoutingHops int
+	// PerHopProcess is the service time at each internal hop.
+	PerHopProcess time.Duration
+	// AuthCheck is the service time of the auth service's validation.
+	AuthCheck time.Duration
+	// Book prices requests.
+	Book cost.Book
+	// ReuseConnections enables keep-alive (ablation: isolates the
+	// connection-setup share of the overhead).
+	ReuseConnections bool
+	// RawBody streams payloads as raw HTTP bodies (object-store style):
+	// only the envelope is marshaled. When false the body rides inside
+	// the JSON envelope (KV-API style), paying marshal cost on every
+	// byte.
+	RawBody bool
+}
+
+// DefaultConfig returns the REST baseline configuration.
+func DefaultConfig() Config {
+	return Config{
+		Codec:         wire.JSONCodec{},
+		RoutingHops:   2,
+		PerHopProcess: 300 * time.Microsecond,
+		AuthCheck:     50 * time.Microsecond,
+		Book:          cost.DynamoBook,
+	}
+}
+
+// Gateway is a simulated REST front door over a replicated store.
+type Gateway struct {
+	cfg  Config
+	env  *sim.Env
+	net  *simnet.Network
+	grp  *consistency.Group
+	node simnet.NodeID // front door
+	auth simnet.NodeID // auth service
+
+	// Metrics.
+	Requests *metrics.Counter
+	Lat      *metrics.Histogram
+	Meter    *cost.Meter
+	// AuthChecks counts remote credential validations (E8).
+	AuthChecks int64
+}
+
+// NewGateway attaches a gateway (in rack 0) to the given replicated store.
+func NewGateway(net *simnet.Network, grp *consistency.Group, cfg Config) *Gateway {
+	if cfg.Codec == nil {
+		cfg.Codec = wire.JSONCodec{}
+	}
+	return &Gateway{
+		cfg:      cfg,
+		env:      net.Env(),
+		net:      net,
+		grp:      grp,
+		node:     net.AddNode(0),
+		auth:     net.AddNode(1),
+		Requests: metrics.NewCounter("rest_requests"),
+		Lat:      metrics.NewHistogram("rest_latency"),
+		Meter:    cost.NewMeter("rest"),
+	}
+}
+
+// Node returns the gateway's front-door node.
+func (g *Gateway) Node() simnet.NodeID { return g.node }
+
+// connect pays connection establishment unless keep-alive is on.
+func (g *Gateway) connect(p *sim.Proc, client simnet.NodeID) {
+	if g.cfg.ReuseConnections {
+		return
+	}
+	// TCP handshake: one full round trip plus socket setup at both ends.
+	p.Sleep(2 * SocketOverhead)
+	p.Sleep(g.net.RTT(client, g.node))
+}
+
+// authenticate re-validates the bearer token against the remote auth
+// service — the stateless API cannot remember prior checks.
+func (g *Gateway) authenticate(p *sim.Proc, creds string) error {
+	g.AuthChecks++
+	g.net.Send(p, g.node, g.auth, 256)
+	p.Sleep(g.cfg.AuthCheck)
+	g.net.Send(p, g.auth, g.node, 64)
+	if creds == "" {
+		return ErrAuth
+	}
+	return nil
+}
+
+// route pays the internal routing hops between front door and storage.
+func (g *Gateway) route(p *sim.Proc) {
+	for i := 0; i < g.cfg.RoutingHops; i++ {
+		p.Sleep(g.net.Profile().BaseRTT) // hop round trip inside the fabric
+		p.Sleep(g.cfg.PerHopProcess)
+	}
+}
+
+// request runs the common protocol path around op, charging overheads for
+// a request with reqBody bytes in and respBody bytes out.
+func (g *Gateway) request(p *sim.Proc, client simnet.NodeID, creds string, reqBody, respBody int, op func() error) error {
+	start := p.Now()
+	g.Requests.Inc()
+	g.connect(p, client)
+	// Request: marshal at client, send, HTTP parse at gateway.
+	p.Sleep(g.cfg.Codec.ModelCost(g.codedBytes(reqBody)))
+	g.net.Send(p, client, g.node, 512+reqBody)
+	p.Sleep(HTTPOverhead)
+	if err := g.authenticate(p, creds); err != nil {
+		g.net.Send(p, g.node, client, 256)
+		return err
+	}
+	g.route(p)
+	if err := op(); err != nil {
+		g.net.Send(p, g.node, client, 256)
+		return err
+	}
+	// Response: HTTP format, marshal, send.
+	p.Sleep(HTTPOverhead)
+	p.Sleep(g.cfg.Codec.ModelCost(g.codedBytes(respBody)))
+	g.net.Send(p, g.node, client, 512+respBody)
+	g.Lat.Observe(p.Now().Sub(start))
+	return nil
+}
+
+// codedBytes returns how many payload bytes pass through the codec.
+func (g *Gateway) codedBytes(body int) int {
+	if g.cfg.RawBody {
+		return 0 // envelope only; the body streams raw
+	}
+	return body
+}
+
+// Get fetches an object through the REST path.
+func (g *Gateway) Get(p *sim.Proc, client simnet.NodeID, creds string, id object.ID, lvl consistency.Level) ([]byte, error) {
+	var data []byte
+	err := g.request(p, client, creds, 0, g.sizeOf(id), func() error {
+		var rerr error
+		data, rerr = g.grp.Read(p, g.node, id, lvl)
+		return rerr
+	})
+	if err == nil {
+		g.Meter.Charge("read", g.cfg.Book.ReadCost(int64(len(data)), lvl == consistency.Linearizable))
+	}
+	return data, err
+}
+
+// Put stores an object through the REST path.
+func (g *Gateway) Put(p *sim.Proc, client simnet.NodeID, creds string, id object.ID, data []byte, lvl consistency.Level) error {
+	err := g.request(p, client, creds, len(data), 0, func() error {
+		return g.grp.Apply(p, g.node, id, lvl, len(data), func(o *object.Object) error {
+			return o.SetData(data)
+		})
+	})
+	if err == nil {
+		g.Meter.Charge("write", g.cfg.Book.WriteCost(int64(len(data))))
+	}
+	return err
+}
+
+// Create allocates an object through the REST path.
+func (g *Gateway) Create(p *sim.Proc, client simnet.NodeID, creds string, kind object.Kind) (object.ID, error) {
+	var id object.ID
+	err := g.request(p, client, creds, 0, 0, func() error {
+		var cerr error
+		id, cerr = g.grp.Create(p, g.node, kind)
+		return cerr
+	})
+	return id, err
+}
+
+func (g *Gateway) sizeOf(id object.ID) int {
+	if o, err := g.grp.Primary0Store().Get(id); err == nil {
+		return int(o.Size())
+	}
+	return 0
+}
+
+// ProtocolOverhead returns the modelled fixed protocol cost of one request
+// with the given body size, excluding network propagation and storage —
+// the quantity §2.1 argues becomes prohibitive on fast networks.
+func (g *Gateway) ProtocolOverhead(bodySize int) time.Duration {
+	return ProtocolOverhead(g.cfg, bodySize)
+}
+
+// ProtocolOverhead computes the fixed per-request protocol cost of a
+// configuration without a live gateway.
+func ProtocolOverhead(cfg Config, bodySize int) time.Duration {
+	codec := cfg.Codec
+	if codec == nil {
+		codec = wire.JSONCodec{}
+	}
+	if cfg.RawBody {
+		bodySize = 0
+	}
+	d := 2*HTTPOverhead + codec.ModelCost(bodySize) + codec.ModelCost(0)
+	if !cfg.ReuseConnections {
+		d += 2 * SocketOverhead
+	}
+	d += cfg.AuthCheck
+	d += time.Duration(cfg.RoutingHops) * cfg.PerHopProcess
+	return d
+}

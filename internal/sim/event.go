@@ -1,0 +1,139 @@
+package sim
+
+import "errors"
+
+// ErrTimeout is returned from waits that exceed their deadline.
+var ErrTimeout = errors.New("sim: wait timed out")
+
+// Event is a one-shot completion that processes can wait on. It carries an
+// arbitrary value or an error. Completing an already-completed event is a
+// no-op, which makes race-to-complete patterns (timeouts, first-of) simple.
+type Event struct {
+	env       *Env
+	done      bool
+	val       any
+	err       error
+	waiters   []*Proc
+	callbacks []func(any, error)
+}
+
+// NewEvent returns an incomplete event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Done reports whether the event has completed.
+func (ev *Event) Done() bool { return ev.done }
+
+// Value returns the completion value and error; only meaningful once Done.
+func (ev *Event) Value() (any, error) { return ev.val, ev.err }
+
+// Complete finishes the event successfully with value v. Waiters resume at
+// the current virtual time. Subsequent completions are ignored.
+func (ev *Event) Complete(v any) { ev.finish(v, nil) }
+
+// Fail finishes the event with an error.
+func (ev *Event) Fail(err error) { ev.finish(nil, err) }
+
+func (ev *Event) finish(v any, err error) {
+	if ev.done {
+		return
+	}
+	ev.done = true
+	ev.val = v
+	ev.err = err
+	for _, p := range ev.waiters {
+		ev.env.wakeNow(p)
+	}
+	ev.waiters = nil
+	for _, cb := range ev.callbacks {
+		cb(v, err)
+	}
+	ev.callbacks = nil
+}
+
+// OnComplete registers fn to run (in engine context) when the event
+// completes; if it already has, fn runs immediately.
+func (ev *Event) OnComplete(fn func(v any, err error)) {
+	if ev.done {
+		fn(ev.val, ev.err)
+		return
+	}
+	ev.callbacks = append(ev.callbacks, fn)
+}
+
+// Wait parks the process until the event completes and returns its result.
+func (p *Proc) Wait(ev *Event) (any, error) {
+	for !ev.done {
+		ev.waiters = append(ev.waiters, p)
+		p.park()
+	}
+	return ev.val, ev.err
+}
+
+// WaitTimeout waits for the event for at most d of virtual time. On timeout
+// it returns ErrTimeout; the event itself stays pending.
+func (p *Proc) WaitTimeout(ev *Event, d Duration) (any, error) {
+	if ev.done {
+		return ev.val, ev.err
+	}
+	timer := p.env.NewEvent()
+	p.env.After(d, func() { timer.Complete(nil) })
+	fired := p.env.NewEvent()
+	ev.OnComplete(func(v any, err error) { fired.finish(v, err) })
+	timer.OnComplete(func(any, error) { fired.finish(nil, ErrTimeout) })
+	return p.Wait(fired)
+}
+
+// WaitAll waits for every event and returns the first error seen, if any.
+func (p *Proc) WaitAll(evs ...*Event) error {
+	var first error
+	for _, ev := range evs {
+		if _, err := p.Wait(ev); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitAny waits until at least one event completes and returns its index
+// and result.
+func (p *Proc) WaitAny(evs ...*Event) (int, any, error) {
+	for i, ev := range evs {
+		if ev.Done() {
+			v, err := ev.Value()
+			return i, v, err
+		}
+	}
+	type res struct {
+		i   int
+		v   any
+		err error
+	}
+	first := p.env.NewEvent()
+	for i, ev := range evs {
+		i := i
+		ev.OnComplete(func(v any, err error) { first.Complete(res{i, v, err}) })
+	}
+	v, _ := p.Wait(first)
+	r := v.(res)
+	return r.i, r.v, r.err
+}
+
+// Barrier completes once n arrivals have been recorded.
+type Barrier struct {
+	ev   *Event
+	need int
+}
+
+// NewBarrier returns a barrier expecting n arrivals.
+func (e *Env) NewBarrier(n int) *Barrier { return &Barrier{ev: e.NewEvent(), need: n} }
+
+// Arrive records one arrival; the n-th arrival releases all waiters.
+func (b *Barrier) Arrive() {
+	b.need--
+	if b.need <= 0 {
+		b.ev.Complete(nil)
+	}
+}
+
+// Wait parks until the barrier releases.
+func (b *Barrier) Wait(p *Proc) { p.Wait(b.ev) } //nolint:errcheck // barrier never fails

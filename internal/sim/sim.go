@@ -1,0 +1,253 @@
+// Package sim provides a sequential discrete-event simulation engine.
+//
+// The engine advances a virtual clock through a queue of timestamped events.
+// Simulated activities are written as ordinary Go functions ("processes")
+// that run on their own goroutines but execute strictly one at a time: a
+// process runs until it parks (Sleep, Wait, Acquire, ...) and only then does
+// the engine dispatch the next event. This gives deterministic, race-free
+// simulations with natural sequential code.
+//
+// Virtual time is completely decoupled from wall-clock time: a Sleep of ten
+// simulated minutes costs only one event dispatch.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the simulation epoch.
+type Time int64
+
+// Duration re-exports time.Duration; all simulated delays use it.
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time as a duration since the epoch.
+func (t Time) String() string { return Duration(t).String() }
+
+// ErrAborted is delivered (via panic, recovered by the engine) to processes
+// that are still parked when the environment shuts down, and returned from
+// waits that are abandoned. Processes normally never observe it.
+var ErrAborted = errors.New("sim: environment shut down")
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) Peek() *event { return h[0] }
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// It is not safe for concurrent use from goroutines outside the engine's
+// own process discipline.
+type Env struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	yield   chan struct{} // signalled by a process when it parks or exits
+	procs   int           // live processes
+	parked  map[*Proc]struct{}
+	closed  bool
+	running bool
+	rng     *rand.Rand
+}
+
+// NewEnv returns a fresh environment whose clock reads zero. The seed fixes
+// the environment's random stream; equal seeds give identical runs.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random stream.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// schedule enqueues fn to run at time t (>= now).
+func (e *Env) schedule(t Time, fn func()) *event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn to run in engine context at absolute time t.
+// fn must not block; use Go for blocking activities.
+func (e *Env) At(t Time, fn func()) { e.schedule(t, fn) }
+
+// After schedules fn to run in engine context d from now.
+func (e *Env) After(d Duration, fn func()) { e.schedule(e.now.Add(d), fn) }
+
+// Proc is the handle a process uses to interact with virtual time.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Name returns the process name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Go spawns a process. The function starts at the current virtual time but
+// is dispatched through the event queue, so a caller inside another process
+// keeps running until it parks. Safe to call both before Run and from
+// within running processes or event callbacks.
+func (e *Env) Go(name string, fn func(p *Proc)) {
+	if e.closed {
+		return
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	e.schedule(e.now, func() {
+		go func() {
+			defer func() {
+				p.dead = true
+				e.procs--
+				if r := recover(); r != nil {
+					if r != ErrAborted {
+						panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+					}
+				}
+				e.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-e.yield // wait until the new process parks or exits
+	})
+}
+
+// park suspends the calling process until the engine resumes it.
+func (p *Proc) park() {
+	e := p.env
+	e.parked[p] = struct{}{}
+	e.yield <- struct{}{}
+	<-p.resume
+	delete(e.parked, p)
+	if e.closed {
+		panic(ErrAborted)
+	}
+}
+
+// wake schedules the parked process p to resume at time t.
+func (e *Env) wake(p *Proc, t Time) {
+	e.schedule(t, func() {
+		p.resume <- struct{}{}
+		<-e.yield
+	})
+}
+
+// wakeNow schedules p to resume at the current time.
+func (e *Env) wakeNow(p *Proc) { e.wake(p, e.now) }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.wake(p, p.env.now.Add(d))
+	p.park()
+}
+
+// Yield lets every other runnable activity scheduled for the current instant
+// run before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run drains the event queue, advancing the clock, and returns the final
+// time. After the queue drains, any processes still parked (waiting on
+// events that will never complete) are aborted.
+func (e *Env) Run() Time { return e.runUntil(-1) }
+
+// RunUntil runs events up to and including time t, then stops without
+// aborting parked processes; Run or RunUntil may be called again.
+func (e *Env) RunUntil(t Time) Time { return e.runUntil(t) }
+
+func (e *Env) runUntil(limit Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		if limit >= 0 && e.queue.Peek().t > limit {
+			e.now = limit
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.t
+		ev.fn()
+	}
+	if limit < 0 {
+		e.shutdown()
+	} else if limit > e.now {
+		e.now = limit
+	}
+	return e.now
+}
+
+// shutdown aborts every parked process.
+func (e *Env) shutdown() {
+	e.closed = true
+	for len(e.parked) > 0 {
+		var p *Proc
+		for q := range e.parked {
+			p = q
+			break
+		}
+		delete(e.parked, p)
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Env) Pending() int { return len(e.queue) }
+
+// LiveProcs reports the number of processes that have started and not yet
+// exited (including parked ones).
+func (e *Env) LiveProcs() int { return e.procs }

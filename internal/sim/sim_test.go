@@ -1,0 +1,550 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEnv(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv(1)
+	var woke Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		woke = p.Now()
+	})
+	end := e.Run()
+	if woke != Time(5*time.Millisecond) {
+		t.Errorf("woke at %v, want 5ms", woke)
+	}
+	if end != woke {
+		t.Errorf("Run returned %v, want %v", end, woke)
+	}
+}
+
+func TestSleepNegativeClampsToZero(t *testing.T) {
+	e := NewEnv(1)
+	e.Go("p", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	e := NewEnv(1)
+	var order []int
+	// Same timestamp: must fire in scheduling order.
+	e.At(10, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 0) })
+	e.Run()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInterleavedProcesses(t *testing.T) {
+	e := NewEnv(1)
+	var trace []string
+	e.Go("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(2)
+		trace = append(trace, "a2")
+		p.Sleep(2)
+		trace = append(trace, "a4")
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(1)
+		trace = append(trace, "b1")
+		p.Sleep(2)
+		trace = append(trace, "b3")
+	})
+	e.Run()
+	want := []string{"a0", "b1", "a2", "b3", "a4"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEnv(1)
+	var childRan bool
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(3)
+		e.Go("child", func(c *Proc) {
+			if c.Now() != 3 {
+				t.Errorf("child started at %v, want 3", c.Now())
+			}
+			childRan = true
+		})
+		p.Sleep(1)
+	})
+	e.Run()
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestEventCompleteWakesWaiters(t *testing.T) {
+	e := NewEnv(1)
+	ev := e.NewEvent()
+	var got any
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		got, _ = p.Wait(ev)
+		at = p.Now()
+	})
+	e.Go("completer", func(p *Proc) {
+		p.Sleep(7)
+		ev.Complete("hello")
+	})
+	e.Run()
+	if got != "hello" {
+		t.Errorf("Wait returned %v, want hello", got)
+	}
+	if at != 7 {
+		t.Errorf("waiter resumed at %v, want 7", at)
+	}
+}
+
+func TestEventDoubleCompleteIgnored(t *testing.T) {
+	e := NewEnv(1)
+	ev := e.NewEvent()
+	ev.Complete(1)
+	ev.Complete(2)
+	ev.Fail(ErrTimeout)
+	v, err := ev.Value()
+	if v != 1 || err != nil {
+		t.Fatalf("Value() = %v, %v; want 1, nil", v, err)
+	}
+}
+
+func TestWaitOnCompletedEventReturnsImmediately(t *testing.T) {
+	e := NewEnv(1)
+	ev := e.NewEvent()
+	ev.Complete(42)
+	e.Go("w", func(p *Proc) {
+		v, err := p.Wait(ev)
+		if v != 42 || err != nil {
+			t.Errorf("Wait = %v, %v; want 42, nil", v, err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("Wait on done event advanced clock to %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestWaitTimeout(t *testing.T) {
+	e := NewEnv(1)
+	never := e.NewEvent()
+	var err error
+	var at Time
+	e.Go("w", func(p *Proc) {
+		_, err = p.WaitTimeout(never, 9)
+		at = p.Now()
+	})
+	e.Run()
+	if err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+	if at != 9 {
+		t.Errorf("timed out at %v, want 9", at)
+	}
+}
+
+func TestWaitTimeoutCompletesFirst(t *testing.T) {
+	e := NewEnv(1)
+	ev := e.NewEvent()
+	e.At(3, func() { ev.Complete("x") })
+	var v any
+	var err error
+	e.Go("w", func(p *Proc) { v, err = p.WaitTimeout(ev, 100) })
+	e.Run()
+	if v != "x" || err != nil {
+		t.Errorf("WaitTimeout = %v, %v; want x, nil", v, err)
+	}
+}
+
+func TestWaitAny(t *testing.T) {
+	e := NewEnv(1)
+	a, b, c := e.NewEvent(), e.NewEvent(), e.NewEvent()
+	e.At(5, func() { b.Complete("b") })
+	e.At(9, func() { a.Complete("a") })
+	var idx int
+	var v any
+	e.Go("w", func(p *Proc) { idx, v, _ = p.WaitAny(a, b, c) })
+	e.Run()
+	if idx != 1 || v != "b" {
+		t.Errorf("WaitAny = %d, %v; want 1, b", idx, v)
+	}
+}
+
+func TestWaitAllCollectsFirstError(t *testing.T) {
+	e := NewEnv(1)
+	a, b := e.NewEvent(), e.NewEvent()
+	e.At(1, func() { a.Fail(ErrTimeout) })
+	e.At(2, func() { b.Complete(nil) })
+	var err error
+	e.Go("w", func(p *Proc) { err = p.WaitAll(a, b) })
+	e.Run()
+	if err != ErrTimeout {
+		t.Errorf("WaitAll err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	e := NewEnv(1)
+	bar := e.NewBarrier(3)
+	var released Time = -1
+	e.Go("waiter", func(p *Proc) {
+		bar.Wait(p)
+		released = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		d := Duration(i)
+		e.After(d, bar.Arrive)
+	}
+	e.Run()
+	if released != 3 {
+		t.Errorf("barrier released at %v, want 3", released)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := NewEnv(1)
+	var fired []Time
+	e.At(10, func() { fired = append(fired, 10) })
+	e.At(20, func() { fired = append(fired, 20) })
+	now := e.RunUntil(15)
+	if now != 15 {
+		t.Errorf("RunUntil returned %v, want 15", now)
+	}
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Errorf("fired = %v, want [10]", fired)
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Errorf("after Run, fired = %v, want both", fired)
+	}
+}
+
+func TestShutdownAbortsParkedProcesses(t *testing.T) {
+	e := NewEnv(1)
+	never := e.NewEvent()
+	reached := false
+	e.Go("stuck", func(p *Proc) {
+		p.Wait(never)  //nolint:errcheck
+		reached = true // must not run
+	})
+	e.Run()
+	if reached {
+		t.Fatal("aborted process continued past Wait")
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after Run, want 0", e.LiveProcs())
+	}
+}
+
+func TestResourceAdmitsFIFO(t *testing.T) {
+	e := NewEnv(1)
+	r := e.NewResource("cpu", 1)
+	var order []string
+	worker := func(name string, hold Duration) func(*Proc) {
+		return func(p *Proc) {
+			r.Acquire(p, 1)
+			order = append(order, name)
+			p.Sleep(hold)
+			r.Release(1)
+		}
+	}
+	e.Go("a", worker("a", 10))
+	e.Go("b", worker("b", 10))
+	e.Go("c", worker("c", 10))
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceCounting(t *testing.T) {
+	e := NewEnv(1)
+	r := e.NewResource("mem", 10)
+	maxInUse := int64(0)
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			r.Acquire(p, 4)
+			if r.InUse() > maxInUse {
+				maxInUse = r.InUse()
+			}
+			p.Sleep(10)
+			r.Release(4)
+		})
+	}
+	e.Run()
+	if maxInUse > 10 {
+		t.Fatalf("resource oversubscribed: %d > 10", maxInUse)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d at end, want 0", r.InUse())
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEnv(1)
+	r := e.NewResource("x", 2)
+	if !r.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) on empty resource failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) on full resource succeeded")
+	}
+	r.Release(2)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) after release failed")
+	}
+}
+
+func TestResourceAvgWait(t *testing.T) {
+	e := NewEnv(1)
+	r := e.NewResource("cpu", 1)
+	e.Go("a", func(p *Proc) { r.Acquire(p, 1); p.Sleep(100); r.Release(1) })
+	e.Go("b", func(p *Proc) { r.Acquire(p, 1); r.Release(1) })
+	e.Run()
+	if got := r.AvgWait(); got != 100 {
+		t.Errorf("AvgWait = %v, want 100ns", got)
+	}
+}
+
+func TestQueueBlockingGet(t *testing.T) {
+	e := NewEnv(1)
+	q := NewQueue[int](e)
+	var got int
+	var at Time
+	e.Go("consumer", func(p *Proc) {
+		v, ok := q.Get(p)
+		if !ok {
+			t.Error("Get returned !ok")
+		}
+		got, at = v, p.Now()
+	})
+	e.Go("producer", func(p *Proc) {
+		p.Sleep(4)
+		q.Put(41)
+	})
+	e.Run()
+	if got != 41 || at != 4 {
+		t.Errorf("got %d at %v, want 41 at 4", got, at)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	e := NewEnv(1)
+	q := NewQueue[int](e)
+	q.Put(1)
+	q.Put(2)
+	q.Close()
+	var vals []int
+	e.Go("c", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			vals = append(vals, v)
+		}
+	})
+	e.Run()
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("vals = %v, want [1 2]", vals)
+	}
+}
+
+func TestQueueCloseWakesBlockedGetter(t *testing.T) {
+	e := NewEnv(1)
+	q := NewQueue[string](e)
+	okAtEnd := true
+	e.Go("c", func(p *Proc) { _, okAtEnd = q.Get(p) })
+	e.After(5, q.Close)
+	e.Run()
+	if okAtEnd {
+		t.Fatal("Get on closed queue returned ok=true")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEnv(42).Rand().Int63()
+	b := NewEnv(42).Rand().Int63()
+	c := NewEnv(43).Rand().Int63()
+	if a != b {
+		t.Errorf("same seed produced different values: %d vs %d", a, b)
+	}
+	if a == c {
+		t.Errorf("different seeds produced identical first value %d", a)
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	e := NewEnv(7)
+	const n = 500
+	count := 0
+	for i := 0; i < n; i++ {
+		d := Duration(e.Rand().Intn(1000))
+		e.Go("w", func(p *Proc) {
+			p.Sleep(d)
+			count++
+			p.Sleep(d)
+		})
+	}
+	e.Run()
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestYieldRunsSameInstantEvents(t *testing.T) {
+	e := NewEnv(1)
+	var seq []string
+	e.Go("a", func(p *Proc) {
+		seq = append(seq, "a-before")
+		p.Yield()
+		seq = append(seq, "a-after")
+	})
+	e.Go("b", func(p *Proc) { seq = append(seq, "b") })
+	e.Run()
+	// b was spawned after a but a yielded, so b runs before a-after.
+	want := []string{"a-before", "b", "a-after"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestResourceUseHelper(t *testing.T) {
+	e := NewEnv(1)
+	r := e.NewResource("cpu", 2)
+	ran := false
+	e.Go("w", func(p *Proc) {
+		r.Use(p, 2, func() {
+			ran = true
+			if r.InUse() != 2 {
+				t.Errorf("InUse inside Use = %d", r.InUse())
+			}
+		})
+		if r.InUse() != 0 {
+			t.Errorf("InUse after Use = %d", r.InUse())
+		}
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("Use body never ran")
+	}
+}
+
+func TestAtInThePastClampsToNow(t *testing.T) {
+	e := NewEnv(1)
+	var firedAt Time = -1
+	e.Go("driver", func(p *Proc) {
+		p.Sleep(100)
+		e.At(5, func() { firedAt = e.Now() }) // 5 < now: clamp
+		p.Sleep(1)
+	})
+	e.Run()
+	if firedAt != 100 {
+		t.Errorf("past event fired at %v, want clamped to 100", firedAt)
+	}
+}
+
+func TestOnCompleteAfterDoneRunsImmediately(t *testing.T) {
+	e := NewEnv(1)
+	ev := e.NewEvent()
+	ev.Complete("x")
+	ran := false
+	ev.OnComplete(func(v any, err error) {
+		if v != "x" || err != nil {
+			t.Errorf("OnComplete got %v, %v", v, err)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("OnComplete on done event did not run")
+	}
+}
+
+func TestEventFailPropagates(t *testing.T) {
+	e := NewEnv(1)
+	ev := e.NewEvent()
+	boom := ErrTimeout
+	e.At(3, func() { ev.Fail(boom) })
+	var err error
+	e.Go("w", func(p *Proc) { _, err = p.Wait(ev) })
+	e.Run()
+	if err != boom {
+		t.Errorf("Wait err = %v, want failure", err)
+	}
+}
+
+func TestWaitAnyAlreadyDone(t *testing.T) {
+	e := NewEnv(1)
+	a, b := e.NewEvent(), e.NewEvent()
+	b.Complete("ready")
+	e.Go("w", func(p *Proc) {
+		i, v, err := p.WaitAny(a, b)
+		if i != 1 || v != "ready" || err != nil {
+			t.Errorf("WaitAny = %d, %v, %v", i, v, err)
+		}
+		if p.Now() != 0 {
+			t.Error("WaitAny on done event advanced the clock")
+		}
+	})
+	e.Run()
+}
+
+func TestProcName(t *testing.T) {
+	e := NewEnv(1)
+	e.Go("named-proc", func(p *Proc) {
+		if p.Name() != "named-proc" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Env() != e {
+			t.Error("Env mismatch")
+		}
+	})
+	e.Run()
+}
+
+func TestGoAfterShutdownIsNoop(t *testing.T) {
+	e := NewEnv(1)
+	e.Go("first", func(p *Proc) {})
+	e.Run()
+	ran := false
+	e.Go("late", func(p *Proc) { ran = true })
+	e.Run()
+	if ran {
+		t.Error("process spawned after shutdown ran")
+	}
+}

@@ -1,0 +1,258 @@
+// Package taskgraph implements PCSI task graphs (§3.1): compositions of
+// functions whose structure is visible to the system, "which opens up
+// optimization opportunities such as pipelining or physical co-location."
+//
+// Graphs may be specified ahead of time (Cloudburst-style) or grown
+// dynamically from running tasks (Ray/Ciel-style) via Executor.Submit.
+// The executor runs every task whose dependencies have completed, so
+// independent branches pipeline naturally, and passes each task a
+// placement hint pointing at the node its first dependency ran on.
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/faas"
+	"repro/internal/sim"
+)
+
+// Errors returned by graph construction and execution.
+var (
+	ErrCycle     = errors.New("taskgraph: dependency cycle")
+	ErrDupTask   = errors.New("taskgraph: duplicate task name")
+	ErrUnknown   = errors.New("taskgraph: unknown dependency")
+	ErrNotLinear = errors.New("taskgraph: graph is not a linear pipeline")
+)
+
+// Task is one node in a graph.
+type Task struct {
+	Name string
+	// Fn names the registered function to invoke.
+	Fn string
+	// Body is the pass-by-value argument.
+	Body []byte
+	// After lists dependency task names.
+	After []string
+	// Colocate asks the executor to hint placement near the first
+	// dependency's execution node.
+	Colocate bool
+	// PreferGPUNode hints placement onto a GPU-equipped node even for
+	// CPU work, anticipating an accelerator-bound consumer (§4.1).
+	PreferGPUNode bool
+	// Retries re-invokes the task on failure (preempted scavenged
+	// instances, transient handler errors) up to this many extra times.
+	Retries int
+}
+
+// Graph is a DAG of tasks.
+type Graph struct {
+	tasks map[string]*Task
+	order []string
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{tasks: make(map[string]*Task)} }
+
+// Add inserts a task. Dependencies may be added in any order but must all
+// exist by Execute time.
+func (g *Graph) Add(t *Task) error {
+	if t.Name == "" || t.Fn == "" {
+		return errors.New("taskgraph: task needs a name and function")
+	}
+	if _, dup := g.tasks[t.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrDupTask, t.Name)
+	}
+	g.tasks[t.Name] = t
+	g.order = append(g.order, t.Name)
+	return nil
+}
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// Validate checks that dependencies exist and the graph is acyclic,
+// returning a topological order.
+func (g *Graph) Validate() ([]string, error) {
+	indeg := make(map[string]int, len(g.tasks))
+	out := make(map[string][]string, len(g.tasks))
+	for name, t := range g.tasks {
+		if _, ok := indeg[name]; !ok {
+			indeg[name] = 0
+		}
+		for _, dep := range t.After {
+			if _, ok := g.tasks[dep]; !ok {
+				return nil, fmt.Errorf("%w: %q needs %q", ErrUnknown, name, dep)
+			}
+			indeg[name]++
+			out[dep] = append(out[dep], name)
+		}
+	}
+	var topo []string
+	var ready []string
+	for _, name := range g.order { // deterministic order
+		if indeg[name] == 0 {
+			ready = append(ready, name)
+		}
+	}
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		topo = append(topo, n)
+		for _, m := range out[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(topo) != len(g.tasks) {
+		return nil, ErrCycle
+	}
+	return topo, nil
+}
+
+// Result records one task's execution.
+type Result struct {
+	Task     *Task
+	Instance *faas.Instance
+	Start    sim.Time
+	End      sim.Time
+	Err      error
+	// Attempts counts failed tries before the recorded outcome.
+	Attempts int
+}
+
+// Executor runs graphs on a FaaS runtime.
+type Executor struct {
+	rt *faas.Runtime
+	// Ctx is passed through to every invocation (PCSI data context).
+	Ctx any
+	// MakeCtx, when set, builds a per-task context (overrides Ctx).
+	MakeCtx func(t *Task) any
+
+	results map[string]*Result
+	done    map[string]*sim.Event
+	graph   *Graph
+}
+
+// NewExecutor returns an executor over rt.
+func NewExecutor(rt *faas.Runtime) *Executor {
+	return &Executor{rt: rt}
+}
+
+// Execute runs the whole graph from the calling process, returning
+// per-task results. Tasks run as soon as their dependencies finish.
+func (e *Executor) Execute(p *sim.Proc, g *Graph) (map[string]*Result, error) {
+	if _, err := g.Validate(); err != nil {
+		return nil, err
+	}
+	env := p.Env()
+	e.graph = g
+	e.results = make(map[string]*Result, g.Len())
+	e.done = make(map[string]*sim.Event, g.Len())
+	for _, name := range g.order {
+		e.done[name] = env.NewEvent()
+	}
+	for _, name := range g.order {
+		t := g.tasks[name]
+		env.Go("task:"+t.Name, func(tp *sim.Proc) { e.runTask(tp, t) })
+	}
+	// Wait for every task.
+	var firstErr error
+	for _, name := range g.order {
+		if _, err := p.Wait(e.done[name]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, r := range e.results {
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+	}
+	return e.results, firstErr
+}
+
+// runTask waits for dependencies, computes hints, and invokes.
+func (e *Executor) runTask(p *sim.Proc, t *Task) {
+	hints := faas.PlacementHints{PreferGPUNode: t.PreferGPUNode}
+	for i, dep := range t.After {
+		v, err := p.Wait(e.done[dep])
+		r, _ := v.(*Result)
+		if err == nil && r != nil && r.Err != nil {
+			err = r.Err
+		}
+		if err != nil {
+			e.finish(t, &Result{Task: t, Err: fmt.Errorf("taskgraph: dependency %q failed: %w", dep, err)})
+			return
+		}
+		if i == 0 && t.Colocate && r != nil && r.Instance != nil {
+			hints.NearNode = r.Instance.Node.ID
+			hints.HasNear = true
+		}
+	}
+	res := &Result{Task: t, Start: p.Now()}
+	ctx := e.Ctx
+	if e.MakeCtx != nil {
+		ctx = e.MakeCtx(t)
+	}
+	var inst *faas.Instance
+	var err error
+	for attempt := 0; attempt <= t.Retries; attempt++ {
+		inst, err = e.rt.Invoke(p, t.Fn, t.Body, hints, ctx)
+		if err == nil {
+			break
+		}
+		res.Attempts++
+	}
+	res.Instance = inst
+	res.End = p.Now()
+	res.Err = err
+	e.finish(t, res)
+}
+
+func (e *Executor) finish(t *Task, r *Result) {
+	e.results[t.Name] = r
+	e.done[t.Name].Complete(r)
+}
+
+// Submit dynamically adds a task to a running graph (Ray/Ciel-style) and
+// returns its completion event. The task may depend on any task already
+// in the graph. Call from within a handler via the executor captured in
+// the invocation context.
+func (e *Executor) Submit(env *sim.Env, t *Task) (*sim.Event, error) {
+	if e.graph == nil {
+		return nil, errors.New("taskgraph: Submit before Execute")
+	}
+	for _, dep := range t.After {
+		if _, ok := e.done[dep]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknown, dep)
+		}
+	}
+	if err := e.graph.Add(t); err != nil {
+		return nil, err
+	}
+	ev := env.NewEvent()
+	e.done[t.Name] = ev
+	env.Go("task:"+t.Name, func(tp *sim.Proc) { e.runTask(tp, t) })
+	return ev, nil
+}
+
+// Pipeline builds a linear chain of tasks, each colocated with its
+// predecessor — the Figure 2 shape.
+func Pipeline(names []string, fns []string) (*Graph, error) {
+	if len(names) != len(fns) || len(names) == 0 {
+		return nil, errors.New("taskgraph: names and fns must align")
+	}
+	g := NewGraph()
+	for i := range names {
+		t := &Task{Name: names[i], Fn: fns[i], Colocate: true}
+		if i > 0 {
+			t.After = []string{names[i-1]}
+		}
+		if err := g.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,167 @@
+// Package pcsi is the public API of this repository's reference
+// implementation of the Portable Cloud System Interface, the interface
+// sketched in "The RESTless Cloud" (Pemberton, Schleier-Smith, Gonzalez —
+// HotOS '21).
+//
+// PCSI models the cloud with two abstractions:
+//
+//   - Computation: stateless functions with explicit data-layer inputs
+//     and outputs, heterogeneous execution platforms, and composable task
+//     graphs ([Client.RegisterFunction], [Client.Invoke],
+//     [Client.RunGraph]).
+//   - State: objects (files, directories, FIFOs, sockets, devices)
+//     reached through capability references, with a four-level mutability
+//     lattice and a two-entry consistency menu ([Client.Create],
+//     [Client.Put], [Client.Get], [Client.Freeze]).
+//
+// A [Cloud] is a complete simulated deployment — datacenter network,
+// cluster, replicated store, function runtime — driven by a deterministic
+// virtual clock. Everything a client does pays modelled network, media,
+// and protocol costs, so experiments measure interface-induced overheads
+// exactly as the paper discusses them.
+//
+// Quickstart:
+//
+//	cloud := pcsi.New(pcsi.DefaultOptions())
+//	client := cloud.NewClient(0)
+//	cloud.Env().Go("main", func(p *pcsi.Proc) {
+//	    ref, _ := client.Create(p, pcsi.Regular)
+//	    _ = client.Put(p, ref, []byte("hello"))
+//	    data, _ := client.Get(p, ref)
+//	    fmt.Println(string(data))
+//	})
+//	cloud.Env().Run()
+package pcsi
+
+import (
+	"repro/internal/capability"
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/faas"
+	"repro/internal/object"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Core types, re-exported for downstream users.
+type (
+	// Cloud is one PCSI deployment.
+	Cloud = core.Cloud
+	// Options configures a deployment.
+	Options = core.Options
+	// Client is a session bound to an origin node.
+	Client = core.Client
+	// Ref is a capability reference to an object.
+	Ref = core.Ref
+	// NS is a namespace handle.
+	NS = core.NS
+	// FnCtx is the context passed to function bodies.
+	FnCtx = core.FnCtx
+	// FnConfig describes a function to register.
+	FnConfig = core.FnConfig
+	// InvokeArgs parameterise an invocation.
+	InvokeArgs = core.InvokeArgs
+	// GraphTask is a node of a task graph.
+	GraphTask = core.GraphTask
+	// StatInfo is object metadata.
+	StatInfo = core.StatInfo
+	// PlacementPolicy selects the function-placement scheduler.
+	PlacementPolicy = core.PlacementPolicy
+	// Proc is a simulated process handle.
+	Proc = sim.Proc
+	// Env is the simulation environment.
+	Env = sim.Env
+	// Time is a point in virtual time.
+	Time = sim.Time
+	// Resources is a resource bundle for function footprints.
+	Resources = cluster.Resources
+	// Variant is one implementation of a function (§3.1's simultaneous
+	// implementations).
+	Variant = faas.Variant
+	// Goal selects among a function's variants per invocation.
+	Goal = faas.Goal
+)
+
+// Optimisation goals for variant selection.
+const (
+	GoalDefault = faas.GoalDefault
+	GoalLatency = faas.GoalLatency
+	GoalCost    = faas.GoalCost
+)
+
+// New builds a Cloud.
+func New(opts Options) *Cloud { return core.New(opts) }
+
+// DefaultOptions returns a representative deployment configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Object kinds.
+const (
+	Regular   = object.Regular
+	Directory = object.Directory
+	FIFO      = object.FIFO
+	Socket    = object.Socket
+	Device    = object.Device
+)
+
+// Mutability levels (Figure 1 of the paper).
+const (
+	Mutable    = object.Mutable
+	AppendOnly = object.AppendOnly
+	FixedSize  = object.FixedSize
+	Immutable  = object.Immutable
+)
+
+// Consistency levels (§3.3's two-entry menu).
+const (
+	Linearizable = consistency.Linearizable
+	Eventual     = consistency.Eventual
+)
+
+// Rights for capability references.
+const (
+	RightRead    = capability.Read
+	RightWrite   = capability.Write
+	RightAppend  = capability.Append
+	RightExec    = capability.Exec
+	RightSetMut  = capability.SetMut
+	RightGrant   = capability.Grant
+	RightUnlink  = capability.Unlink
+	RightDestroy = capability.Destroy
+	RightsAll    = capability.All
+)
+
+// Execution platform kinds (§3.1's heterogeneous implementations).
+const (
+	PlatformProcess   = platform.Process
+	PlatformContainer = platform.Container
+	PlatformMicroVM   = platform.MicroVM
+	PlatformUnikernel = platform.Unikernel
+	PlatformWasm      = platform.Wasm
+	PlatformGPU       = platform.GPU
+)
+
+// Socket ends (for Socket objects, Figure 2's TCP connection).
+const (
+	ClientEnd = core.ClientEnd
+	ServerEnd = core.ServerEnd
+)
+
+// Placement policies.
+const (
+	PlaceNaive    = core.PlaceNaive
+	PlacePacked   = core.PlacePacked
+	PlaceColocate = core.PlaceColocate
+	PlaceScavenge = core.PlaceScavenge
+)
+
+// WithConsistency sets a created object's default consistency level.
+var WithConsistency = core.WithConsistency
+
+// WithMutability sets a created object's initial mutability level.
+var WithMutability = core.WithMutability
+
+// WithEphemeral makes the created object node-local and unreplicated —
+// single-copy state for task-graph intermediates.
+var WithEphemeral = core.WithEphemeral

@@ -1,0 +1,170 @@
+package pcsi_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/pcsi"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would, without touching internal packages.
+
+func TestQuickstartFlow(t *testing.T) {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	client := cloud.NewClient(0)
+	var got []byte
+	cloud.Env().Go("main", func(p *pcsi.Proc) {
+		ref, err := client.Create(p, pcsi.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.Put(p, ref, []byte("hello")); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err = client.Get(p, ref)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	cloud.Env().Run()
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFacadeConstantsCoherent(t *testing.T) {
+	if !pcsi.Mutable.CanTransition(pcsi.Immutable) {
+		t.Error("lattice broken through facade")
+	}
+	if pcsi.Linearizable.String() != "linearizable" {
+		t.Error("consistency constants broken")
+	}
+	if !pcsi.RightsAll.Has(pcsi.RightRead | pcsi.RightExec) {
+		t.Error("rights constants broken")
+	}
+	if pcsi.PlatformWasm.String() != "wasm" {
+		t.Error("platform constants broken")
+	}
+	if pcsi.PlaceColocate.String() != "colocate" {
+		t.Error("policy constants broken")
+	}
+}
+
+func TestFunctionThroughFacade(t *testing.T) {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	client := cloud.NewClient(0)
+	ran := false
+	cloud.Env().Go("main", func(p *pcsi.Proc) {
+		fn, err := client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "hello", Kind: pcsi.PlatformWasm,
+			Handler: func(fc *pcsi.FnCtx) error { ran = true; return nil },
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := client.Invoke(p, fn, pcsi.InvokeArgs{}); err != nil {
+			t.Error(err)
+		}
+	})
+	cloud.Env().Run()
+	if !ran {
+		t.Fatal("function never ran")
+	}
+}
+
+func TestOptionsVariants(t *testing.T) {
+	opts := pcsi.DefaultOptions()
+	opts.Policy = pcsi.PlaceNaive
+	opts.Seed = 42
+	cloud := pcsi.New(opts)
+	if cloud == nil {
+		t.Fatal("nil cloud")
+	}
+	// Deterministic: same seed, same first random value.
+	a := pcsi.New(opts).Env().Rand().Int63()
+	b := pcsi.New(opts).Env().Rand().Int63()
+	if a != b {
+		t.Error("same options produced different random streams")
+	}
+}
+
+func TestSocketThroughFacade(t *testing.T) {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	client := cloud.NewClient(0)
+	cloud.Env().Go("main", func(p *pcsi.Proc) {
+		conn, err := client.Create(p, pcsi.Socket)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := client.SockSend(p, conn, pcsi.ClientEnd, []byte("ping")); err != nil {
+			t.Error(err)
+			return
+		}
+		msg, err := client.SockRecv(p, conn, pcsi.ServerEnd)
+		if err != nil || string(msg) != "ping" {
+			t.Errorf("SockRecv = %q, %v", msg, err)
+		}
+		if err := client.SockClose(p, conn); err != nil {
+			t.Error(err)
+		}
+	})
+	cloud.Env().Run()
+}
+
+func TestVariantsThroughFacade(t *testing.T) {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	client := cloud.NewClient(0)
+	cloud.Env().Go("main", func(p *pcsi.Proc) {
+		fn, err := client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "f", Kind: pcsi.PlatformWasm,
+			TypicalExec: 50 * time.Millisecond,
+			Variants: []pcsi.Variant{
+				{Name: "wasm", Kind: pcsi.PlatformWasm, Res: pcsi.Resources{MilliCPU: 500, MemMB: 64}, SpeedFactor: 1},
+				{Name: "gpu", Kind: pcsi.PlatformGPU, Res: pcsi.Resources{GPUs: 1}, SpeedFactor: 5},
+			},
+			Handler: func(fc *pcsi.FnCtx) error {
+				fc.Proc().Sleep(fc.Inv.Scale(50 * time.Millisecond))
+				return nil
+			},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		inst, err := client.Invoke(p, fn, pcsi.InvokeArgs{Goal: pcsi.GoalCost})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if inst.Variant().Name != "wasm" {
+			t.Errorf("GoalCost ran %q", inst.Variant().Name)
+		}
+	})
+	cloud.Env().Run()
+}
+
+func TestEphemeralCannotBeBound(t *testing.T) {
+	cloud := pcsi.New(pcsi.DefaultOptions())
+	client := cloud.NewClient(0)
+	cloud.Env().Go("main", func(p *pcsi.Proc) {
+		ns, _, err := client.NewNamespace(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		eph, err := client.Create(p, pcsi.Regular, pcsi.WithEphemeral())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := ns.Bind(p, client, "scratch", eph); err == nil {
+			t.Error("ephemeral object bound into a namespace")
+		}
+	})
+	cloud.Env().Run()
+}
