@@ -17,14 +17,13 @@ import (
 	"time"
 
 	"repro/internal/consistency"
-	"repro/internal/core"
 	"repro/internal/dynamo"
+	"repro/internal/media"
 	"repro/internal/nfsbase"
 	"repro/internal/object"
 	"repro/internal/restbase"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 	"repro/internal/wire"
 	"repro/pcsi"
 )
@@ -128,7 +127,7 @@ func BenchmarkTable1_IndirectCall(b *testing.B) {
 func BenchmarkFetch1KB_NFS(b *testing.B) {
 	env := sim.NewEnv(1)
 	net := simnet.New(env, simnet.DC2021)
-	srv := nfsbase.NewServer(net, store.Disk)
+	srv := nfsbase.NewServer(net, media.Disk)
 	if err := srv.Export("obj", make([]byte, 1024)); err != nil {
 		b.Fatal(err)
 	}
@@ -163,7 +162,7 @@ func BenchmarkFetch1KB_NFS(b *testing.B) {
 func BenchmarkFetch1KB_DynamoDB(b *testing.B) {
 	env := sim.NewEnv(1)
 	net := simnet.New(env, simnet.DC2021)
-	tbl := dynamo.New(net, 3, store.Disk)
+	tbl := dynamo.New(net, 3, media.Disk)
 	client := net.AddNode(2)
 	var simTotal time.Duration
 	n := b.N
@@ -199,6 +198,10 @@ func BenchmarkMutability_TransitionCheck(b *testing.B) {
 	_ = ok
 }
 
+// BenchmarkMutability_AppendOnlyWrite measures the raw object append
+// primitive (E3's lattice), below the capability layer by design.
+//
+//pcsi:allow rawmutation benchmarks the object-layer primitive itself.
 func BenchmarkMutability_AppendOnlyWrite(b *testing.B) {
 	o := object.New(1, object.Regular)
 	if err := o.SetMutability(object.AppendOnly); err != nil {
@@ -215,7 +218,7 @@ func BenchmarkMutability_AppendOnlyWrite(b *testing.B) {
 
 // --- Figure 2 / §4.1 (E4): pipeline placement ---
 
-func benchPipeline(b *testing.B, policy core.PlacementPolicy) {
+func benchPipeline(b *testing.B, policy pcsi.PlacementPolicy) {
 	opts := pcsi.DefaultOptions()
 	opts.Policy = policy
 	cloud := pcsi.New(opts)
@@ -294,7 +297,7 @@ func benchPipeline(b *testing.B, policy core.PlacementPolicy) {
 				return
 			}
 			if _, err := client.RunGraph(p, []pcsi.GraphTask{
-				{Name: "pre", Fn: pre, Outputs: []pcsi.Ref{upload}, PreferGPUNode: policy == core.PlaceColocate},
+				{Name: "pre", Fn: pre, Outputs: []pcsi.Ref{upload}, PreferGPUNode: policy == pcsi.PlaceColocate},
 				{Name: "infer", Fn: infer, After: []string{"pre"}, Colocate: true,
 					Inputs: []pcsi.Ref{upload}, Outputs: []pcsi.Ref{result}},
 				{Name: "post", Fn: post, After: []string{"infer"}, Colocate: true,
@@ -314,8 +317,8 @@ func benchPipeline(b *testing.B, policy core.PlacementPolicy) {
 	b.ReportMetric(float64(cloud.BytesMoved)/float64(n), "net-bytes/op")
 }
 
-func BenchmarkPipeline_Naive(b *testing.B)    { benchPipeline(b, core.PlaceNaive) }
-func BenchmarkPipeline_Colocate(b *testing.B) { benchPipeline(b, core.PlaceColocate) }
+func BenchmarkPipeline_Naive(b *testing.B)    { benchPipeline(b, pcsi.PlaceNaive) }
+func BenchmarkPipeline_Colocate(b *testing.B) { benchPipeline(b, pcsi.PlaceColocate) }
 
 // --- §3.3/§4.3 (E6): the consistency menu ---
 
@@ -326,7 +329,7 @@ func benchConsistency(b *testing.B, lvl consistency.Level, write bool) {
 	for i := 0; i < 3; i++ {
 		nodes = append(nodes, net.AddNode(i))
 	}
-	grp := consistency.NewGroup(env, net, nodes, store.NVMe)
+	grp := consistency.NewGroup(env, net, nodes, media.NVMe)
 	client := net.AddNode(0)
 	payload := make([]byte, 4096)
 	var simTotal time.Duration
@@ -338,6 +341,7 @@ func benchConsistency(b *testing.B, lvl consistency.Level, write bool) {
 			return
 		}
 		p.Sleep(50 * time.Millisecond)
+		//pcsi:allow rawmutation mutator runs inside Group.Apply's quorum-fenced update path
 		if err := grp.Apply(p, client, id, consistency.Linearizable, len(payload), func(o *object.Object) error {
 			return o.SetData(payload)
 		}); err != nil {
@@ -347,6 +351,7 @@ func benchConsistency(b *testing.B, lvl consistency.Level, write bool) {
 		start := p.Now()
 		for i := 0; i < n; i++ {
 			if write {
+				//pcsi:allow rawmutation mutator runs inside Group.Apply's quorum-fenced update path
 				err = grp.Apply(p, client, id, lvl, len(payload), func(o *object.Object) error {
 					return o.SetData(payload)
 				})
@@ -387,7 +392,7 @@ func benchGranularityREST(b *testing.B, size int) {
 	for i := 0; i < 3; i++ {
 		nodes = append(nodes, net.AddNode(i))
 	}
-	grp := consistency.NewGroup(env, net, nodes, store.DRAM)
+	grp := consistency.NewGroup(env, net, nodes, media.DRAM)
 	cfg := restbase.DefaultConfig()
 	cfg.RawBody = true
 	gw := restbase.NewGateway(net, grp, cfg)
@@ -421,7 +426,7 @@ func benchGranularityREST(b *testing.B, size int) {
 func benchGranularityPCSI(b *testing.B, size int) {
 	opts := pcsi.DefaultOptions()
 	opts.NetProfile = simnet.FastNet
-	opts.Media = store.DRAM
+	opts.Media = media.DRAM
 	cloud := pcsi.New(opts)
 	client := cloud.NewClient(0)
 	var simTotal time.Duration
@@ -484,7 +489,7 @@ func BenchmarkAuth_CapabilityCheck(b *testing.B) {
 
 func BenchmarkSimulator_InvokeThroughput(b *testing.B) {
 	opts := pcsi.DefaultOptions()
-	opts.Media = store.DRAM
+	opts.Media = media.DRAM
 	cloud := pcsi.New(opts)
 	client := cloud.NewClient(0)
 	n := b.N
@@ -512,7 +517,7 @@ func BenchmarkSimulator_InvokeThroughput(b *testing.B) {
 
 func BenchmarkGC_MarkSweep(b *testing.B) {
 	opts := pcsi.DefaultOptions()
-	opts.Media = store.DRAM
+	opts.Media = media.DRAM
 	cloud := pcsi.New(opts)
 	client := cloud.NewClient(0)
 	var refs []pcsi.Ref

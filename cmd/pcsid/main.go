@@ -21,9 +21,9 @@ import (
 	"os/signal"
 	"strconv"
 
-	"repro/internal/core"
 	"repro/internal/pcsinet"
 	"repro/internal/platform"
+	"repro/pcsi"
 )
 
 func main() {
@@ -33,13 +33,13 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := core.DefaultOptions()
+	opts := pcsi.DefaultOptions()
 	opts.Seed = *seed
-	cloud := core.New(opts)
+	cloud := pcsi.New(opts)
 	srv := pcsinet.NewServer(cloud)
 
-	demo := []core.FnConfig{
-		{Name: "echo", Kind: platform.Wasm, Handler: func(fc *core.FnCtx) error {
+	demo := []pcsi.FnConfig{
+		{Name: "echo", Kind: platform.Wasm, Handler: func(fc *pcsi.FnCtx) error {
 			if len(fc.Inputs) > 0 && len(fc.Outputs) > 0 {
 				data, err := fc.Client.Get(fc.Proc(), fc.Inputs[0])
 				if err != nil {
@@ -49,14 +49,14 @@ func main() {
 			}
 			return nil
 		}},
-		{Name: "upper", Kind: platform.Wasm, Handler: func(fc *core.FnCtx) error {
+		{Name: "upper", Kind: platform.Wasm, Handler: func(fc *pcsi.FnCtx) error {
 			data, err := fc.Client.Get(fc.Proc(), fc.Inputs[0])
 			if err != nil {
 				return err
 			}
 			return fc.Client.Put(fc.Proc(), fc.Outputs[0], bytes.ToUpper(data))
 		}},
-		{Name: "wordcount", Kind: platform.Wasm, Handler: func(fc *core.FnCtx) error {
+		{Name: "wordcount", Kind: platform.Wasm, Handler: func(fc *pcsi.FnCtx) error {
 			data, err := fc.Client.Get(fc.Proc(), fc.Inputs[0])
 			if err != nil {
 				return err

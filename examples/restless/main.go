@@ -16,10 +16,10 @@ import (
 	"time"
 
 	"repro/internal/consistency"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/restbase"
 	"repro/internal/simnet"
-	"repro/internal/store"
 	"repro/pcsi"
 
 	"repro/internal/object"
@@ -55,7 +55,7 @@ func runREST(prof simnet.Profile) time.Duration {
 	for i := 0; i < 3; i++ {
 		nodes = append(nodes, net.AddNode(i))
 	}
-	grp := consistency.NewGroup(env, net, nodes, store.DRAM)
+	grp := consistency.NewGroup(env, net, nodes, media.DRAM)
 	gw := restbase.NewGateway(net, grp, restbase.DefaultConfig())
 	client := net.AddNode(0)
 	var total time.Duration
@@ -80,7 +80,7 @@ func runREST(prof simnet.Profile) time.Duration {
 func runPCSI(prof simnet.Profile) time.Duration {
 	opts := pcsi.DefaultOptions()
 	opts.NetProfile = prof
-	opts.Media = store.DRAM
+	opts.Media = media.DRAM
 	cloud := pcsi.New(opts)
 	client := cloud.NewClient(0)
 	var total time.Duration

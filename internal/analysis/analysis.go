@@ -1,0 +1,243 @@
+// Package analysis is a stdlib-only static-analysis framework (go/parser +
+// go/types, no golang.org/x/tools) that enforces this repository's design
+// invariants from DESIGN.md §5: deterministic virtual time, seeded
+// randomness, the substrate→state→compute→core layering, and
+// capability-checked object mutation. The cmd/pcsi-vet CLI runs it over any
+// package pattern, and a self-enforcement test keeps the repo itself clean.
+//
+// Legitimate exceptions are annotated in the source with a directive:
+//
+//	//pcsi:allow <check> [reason...]
+//
+// where <check> is one of the analyzer directive names (wallclock,
+// globalrand, layering, rawmutation). A directive suppresses its check on
+// the same line and the following line; a directive in the doc comment of a
+// top-level declaration covers the whole declaration.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string // analyzer name
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only selections.
+	Name string
+	// Directive is the //pcsi:allow keyword that suppresses this analyzer.
+	Directive string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// All returns the repo's analyzers.
+func All() []*Analyzer {
+	return []*Analyzer{SimTime, DetRand, Layering, CapDiscipline}
+}
+
+// Pass carries one analyzer's visit of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Module   string // module path of the analyzed tree
+	Pkg      *Package
+
+	allows map[string][]lineRange // directive keyword -> suppressed ranges per file:line
+	diags  *[]Diagnostic
+}
+
+type lineRange struct {
+	file       string
+	start, end int
+}
+
+// RelPath returns the package path relative to the module ("internal/sim"),
+// or "." for the module root. External test packages keep their "_test"
+// suffix.
+func (p *Pass) RelPath() string {
+	return relPath(p.Module, p.Pkg.Path)
+}
+
+func relPath(module, path string) string {
+	if path == module {
+		return "."
+	}
+	if rest, ok := strings.CutPrefix(path, module+"/"); ok {
+		return rest
+	}
+	return path
+}
+
+// Report records a diagnostic unless a //pcsi:allow directive covers it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, r := range p.allows[p.Analyzer.Directive] {
+		if r.file == position.Filename && position.Line >= r.start && position.Line <= r.end {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// directiveKeywords are the recognized //pcsi:allow arguments.
+func directiveKeywords() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Directive] = true
+	}
+	return m
+}
+
+// collectAllows scans a package's comments for //pcsi:allow directives and
+// returns the suppressed line ranges per keyword. Unknown keywords are
+// reported as diagnostics so typos cannot silently disable a check.
+func collectAllows(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[string][]lineRange {
+	known := directiveKeywords()
+	allows := make(map[string][]lineRange)
+	for _, f := range pkg.Files {
+		// Doc-comment directives cover their whole declaration.
+		declRange := make(map[*ast.Comment]lineRange)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				declRange[c] = lineRange{
+					file:  fset.Position(decl.Pos()).Filename,
+					start: fset.Position(decl.Pos()).Line,
+					end:   fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		// A directive on or above a multi-line statement covers all of it:
+		// map each starting line to the last line of the widest node
+		// beginning there, so annotating e.g. a call taking a closure
+		// covers the closure body too.
+		lastLine := make(map[int]int)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			start := fset.Position(n.Pos()).Line
+			if end := fset.Position(n.End()).Line; end > lastLine[start] {
+				lastLine[start] = end
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//pcsi:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					*diags = append(*diags, Diagnostic{
+						Pos:     fset.Position(c.Pos()),
+						Check:   "directive",
+						Message: "//pcsi:allow needs a check name (wallclock, globalrand, layering, rawmutation)",
+					})
+					continue
+				}
+				keyword := fields[0]
+				if !known[keyword] {
+					*diags = append(*diags, Diagnostic{
+						Pos:     fset.Position(c.Pos()),
+						Check:   "directive",
+						Message: fmt.Sprintf("unknown //pcsi:allow check %q", keyword),
+					})
+					continue
+				}
+				r, ok := declRange[c]
+				if !ok {
+					pos := fset.Position(c.Pos())
+					// A trailing directive covers the statement it sits on;
+					// a standalone one covers the statement below it.
+					end := pos.Line + 1
+					if e := lastLine[pos.Line]; e > end {
+						end = e
+					}
+					if e := lastLine[pos.Line+1]; e > end {
+						end = e
+					}
+					r = lineRange{file: pos.Filename, start: pos.Line, end: end}
+				}
+				allows[keyword] = append(allows[keyword], r)
+			}
+		}
+	}
+	return allows
+}
+
+// Run applies the analyzers to every package and returns the combined
+// diagnostics sorted by position. Type errors in the analyzed packages are
+// reported as "typecheck" diagnostics: the invariants cannot be trusted on
+// code that does not compile.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, err := range pkg.TypeErrors {
+			msg := err.Error()
+			pos := token.Position{Filename: pkg.Dir}
+			if te, ok := err.(types.Error); ok {
+				pos = l.Fset.Position(te.Pos)
+				msg = te.Msg
+			}
+			diags = append(diags, Diagnostic{Pos: pos, Check: "typecheck", Message: msg})
+		}
+		allows := collectAllows(l.Fset, pkg, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Module:   l.Module,
+				Pkg:      pkg,
+				allows:   allows,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks the fixture module under testdata and runs every
+// analyzer over all of its packages.
+func loadFixture(t *testing.T) (*Loader, []Diagnostic) {
+	t.Helper()
+	l, err := NewLoader(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return l, Run(l, pkgs, All())
+}
+
+// wantMarkers scans the fixture sources for expectation markers:
+//
+//	code // want: check [check...]   — diagnostics expected on this line
+//	// want-next: check [check...]   — diagnostics expected on the next line
+//
+// and returns the expected check names per "relpath:line" key, sorted.
+func wantMarkers(t *testing.T, root string) map[string][]string {
+	t.Helper()
+	want := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			marker, target := "// want:", i+1
+			idx := strings.Index(line, marker)
+			if j := strings.Index(line, "// want-next:"); j >= 0 {
+				marker, target, idx = "// want-next:", i+2, j
+			}
+			if idx < 0 {
+				continue
+			}
+			checks := strings.Fields(line[idx+len(marker):])
+			if len(checks) == 0 {
+				return fmt.Errorf("%s:%d: empty want marker", rel, i+1)
+			}
+			key := fmt.Sprintf("%s:%d", filepath.ToSlash(rel), target)
+			want[key] = append(want[key], checks...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range want {
+		sort.Strings(v)
+	}
+	return want
+}
+
+// TestFixtureDiagnostics compares every diagnostic the analyzers produce on
+// the fixture module against the // want markers in its sources: nothing
+// missing, nothing extra, on any line of any fixture package (including
+// in-package and external test files).
+func TestFixtureDiagnostics(t *testing.T) {
+	l, diags := loadFixture(t)
+	got := make(map[string][]string)
+	for _, d := range diags {
+		rel, err := filepath.Rel(l.Root, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("diagnostic outside fixture root: %v", d)
+		}
+		key := fmt.Sprintf("%s:%d", filepath.ToSlash(rel), d.Pos.Line)
+		got[key] = append(got[key], d.Check)
+	}
+	for _, v := range got {
+		sort.Strings(v)
+	}
+	want := wantMarkers(t, l.Root)
+	for key, checks := range want {
+		if !reflect.DeepEqual(got[key], checks) {
+			t.Errorf("%s: want checks %v, got %v", key, checks, got[key])
+		}
+	}
+	for key, checks := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: unexpected diagnostics %v", key, checks)
+		}
+	}
+}
+
+// TestExactPositions pins the full file:line:column positions and messages
+// for the wallclock fixture: the diagnostics must point at the offending
+// selector expression, not merely the right line.
+func TestExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "bad/wallclock/wallclock.go" {
+			continue
+		}
+		got = append(got, fmt.Sprintf("%d:%d:%s:time.%s",
+			d.Pos.Line, d.Pos.Column, d.Check, afterPrefix(d.Message, "wall-clock time.")))
+	}
+	want := []string{
+		"8:11:simtime:time.Now",
+		"9:2:simtime:time.Sleep",
+		"10:9:simtime:time.Since",
+		"15:9:simtime:time.NewTimer",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wallclock positions:\n got %v\nwant %v", got, want)
+	}
+}
+
+// afterPrefix returns the first word of s after prefix, or s if absent.
+func afterPrefix(s, prefix string) string {
+	rest, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return s
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// TestXTestPackagesLoaded asserts the external test package of the wallclock
+// fixture loads as its own "_test" package and is analyzed.
+func TestXTestPackagesLoaded(t *testing.T) {
+	l, err := NewLoader(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./bad/wallclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"fixture/bad/wallclock", "fixture/bad/wallclock_test"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("Load paths = %v, want %v", paths, want)
+	}
+	if !pkgs[1].XTest {
+		t.Error("external test package not marked XTest")
+	}
+}
+
+// TestOnlySelectedAnalyzers asserts Run honors the analyzer subset: with
+// only detrand, the wallclock fixture produces no diagnostics.
+func TestOnlySelectedAnalyzers(t *testing.T) {
+	l, err := NewLoader(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./bad/wallclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(l, pkgs, []*Analyzer{DetRand}); len(diags) != 0 {
+		t.Errorf("detrand-only run on wallclock fixture reported %v", diags)
+	}
+}
+
+// TestRelPath pins the module-relative path helper.
+func TestRelPath(t *testing.T) {
+	cases := []struct{ module, path, want string }{
+		{"repro", "repro", "."},
+		{"repro", "repro/internal/sim", "internal/sim"},
+		{"repro", "other/pkg", "other/pkg"},
+		{"fixture", "fixture/bad/wallclock_test", "bad/wallclock_test"},
+	}
+	for _, c := range cases {
+		if got := relPath(c.module, c.path); got != c.want {
+			t.Errorf("relPath(%q, %q) = %q, want %q", c.module, c.path, got, c.want)
+		}
+	}
+}
+
+// TestDiagnosticsSorted asserts Run returns diagnostics in position order,
+// which the CLI and the marker test rely on.
+func TestDiagnosticsSorted(t *testing.T) {
+	_, diags := loadFixture(t)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	sorted := sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	if !sorted {
+		t.Error("diagnostics not sorted by position")
+	}
+}

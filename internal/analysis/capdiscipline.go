@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// objectMutators are the internal/object methods that change object state.
+// Reads (ReadAt, Read, ContentHash, ...) and construction (New, Clone) are
+// unrestricted.
+var objectMutators = stringSet(
+	"SetData", "WriteAt", "Append", "Truncate", "SetMutability", "ApplyState",
+)
+
+// storeMutators are the internal/store methods that create, change, or
+// delete stored objects or their accounting.
+var storeMutators = stringSet(
+	"Create", "Insert", "AllocID", "UpdateAccounting", "SetData", "Append", "Delete",
+)
+
+// mutationClients are the packages allowed to mutate objects and stores
+// directly: the state layer itself, core (whose Client checks capability
+// rights before every mutation), and the baselines (whose whole point is
+// modelling the non-capability world). Everyone else must go through a
+// capability-checked entry point — core.Client or the pcsi facade — or
+// annotate a deliberate exception with //pcsi:allow rawmutation.
+var mutationClients = union(statePkgs, baselinePkgs, stringSet("internal/core"))
+
+// CapDiscipline enforces DESIGN.md §5's capability-safety invariant
+// statically: no ambient authority over state. Outside the sanctioned
+// layers, calling a mutating method on an internal/object.Object or an
+// internal/store.Store bypasses the rights check that every capability
+// reference carries.
+var CapDiscipline = &Analyzer{
+	Name:      "capdiscipline",
+	Directive: "rawmutation",
+	Doc:       "forbid raw object/store mutation outside capability-checked layers",
+	Run:       runCapDiscipline,
+}
+
+func runCapDiscipline(pass *Pass) {
+	target := relPath(pass.Module, strings.TrimSuffix(pass.Pkg.Path, "_test"))
+	if mutationClients[target] {
+		return
+	}
+	objPkg := pass.Module + "/internal/object"
+	storePkg := pass.Module + "/internal/store"
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			recv := receiverNamed(fn)
+			if recv == nil || recv.Obj().Pkg() == nil {
+				return true
+			}
+			switch {
+			case recv.Obj().Pkg().Path() == objPkg && recv.Obj().Name() == "Object" && objectMutators[sel.Sel.Name]:
+				pass.Report(sel.Pos(),
+					"raw object mutation object.Object.%s outside the capability-checked layers; go through core.Client/pcsi (rights-checked) or annotate //pcsi:allow rawmutation",
+					sel.Sel.Name)
+			case recv.Obj().Pkg().Path() == storePkg && recv.Obj().Name() == "Store" && storeMutators[sel.Sel.Name]:
+				pass.Report(sel.Pos(),
+					"raw store mutation store.Store.%s outside the state layer; go through core.Client/pcsi (rights-checked) or annotate //pcsi:allow rawmutation",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// receiverNamed returns the named type of fn's receiver, unwrapping a
+// pointer, or nil if fn is not a method.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// The architecture tiers of DESIGN.md §3, as module-relative package paths.
+var (
+	substratePkgs = stringSet(
+		"internal/sim", "internal/metrics", "internal/simnet", "internal/cluster",
+		"internal/platform", "internal/wire", "internal/cost", "internal/workload",
+		"internal/media",
+	)
+	statePkgs = stringSet(
+		"internal/object", "internal/capability", "internal/store",
+		"internal/namespace", "internal/consistency", "internal/gc",
+	)
+	computePkgs  = stringSet("internal/faas", "internal/taskgraph", "internal/scheduler")
+	baselinePkgs = stringSet("internal/restbase", "internal/nfsbase", "internal/dynamo", "internal/posix")
+
+	// storeClients are the only packages that may import internal/store
+	// directly: the rest of the state layer, core, and the baselines (which
+	// the paper defines as alternative front doors "over the same store").
+	// Everything else configures media via internal/media and reaches
+	// objects through capability-checked interfaces.
+	storeClients = union(statePkgs, baselinePkgs, stringSet("internal/core"))
+
+	// coreClients are the only packages that may import internal/core: the
+	// public facade, the wire daemon, and the experiment harness. Binaries
+	// and examples go through the pcsi facade.
+	coreClients = stringSet("pcsi", "internal/pcsinet", "internal/experiments")
+
+	// analysisClients may import internal/analysis.
+	analysisClients = stringSet("cmd/pcsi-vet")
+)
+
+func stringSet(elems ...string) map[string]bool {
+	m := make(map[string]bool, len(elems))
+	for _, e := range elems {
+		m[e] = true
+	}
+	return m
+}
+
+func union(sets ...map[string]bool) map[string]bool {
+	m := make(map[string]bool)
+	for _, s := range sets {
+		for k := range s {
+			m[k] = true
+		}
+	}
+	return m
+}
+
+// Layering enforces the import-graph rules of DESIGN.md §3: substrates
+// import no state/compute/core code, the state layer never reaches up into
+// compute or core, baselines never import internal/core, direct
+// internal/store access is reserved for the state layer + core + baselines,
+// and only the stdlib is ever imported from outside the module.
+var Layering = &Analyzer{
+	Name:      "layering",
+	Directive: "layering",
+	Doc:       "enforce the substrate→state→compute→core import layering and the stdlib-only rule",
+	Run:       runLayering,
+}
+
+func runLayering(pass *Pass) {
+	target := relPath(pass.Module, strings.TrimSuffix(pass.Pkg.Path, "_test"))
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			checkImport(pass, imp, target, path)
+		}
+	}
+}
+
+func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
+	if path == "C" {
+		pass.Report(imp.Pos(), "cgo is not used in this repository")
+		return
+	}
+	inModule := path == pass.Module || strings.HasPrefix(path, pass.Module+"/")
+	if !inModule {
+		if first, _, _ := strings.Cut(path, "/"); strings.Contains(first, ".") {
+			pass.Report(imp.Pos(), "import of %s breaks the stdlib-only rule: all code builds from the standard library alone", path)
+		}
+		return
+	}
+	dep := relPath(pass.Module, path)
+
+	switch {
+	case substratePkgs[target]:
+		if !substratePkgs[dep] {
+			pass.Report(imp.Pos(), "substrate package %s may not import %s: substrates depend only on the stdlib and other substrates (DESIGN.md §3)", target, dep)
+			return
+		}
+	case statePkgs[target]:
+		if !substratePkgs[dep] && !statePkgs[dep] {
+			pass.Report(imp.Pos(), "state-layer package %s may not import %s: the state layer sits below compute and core (DESIGN.md §3)", target, dep)
+			return
+		}
+	case computePkgs[target]:
+		if !substratePkgs[dep] && !statePkgs[dep] && !computePkgs[dep] {
+			pass.Report(imp.Pos(), "compute-layer package %s may not import %s: only internal/core ties compute to the full system (DESIGN.md §3)", target, dep)
+			return
+		}
+	case baselinePkgs[target]:
+		if dep == "internal/core" || dep == "pcsi" || computePkgs[dep] {
+			pass.Report(imp.Pos(), "baseline package %s may not import %s: baselines are what PCSI is measured against and must not share its implementation", target, dep)
+			return
+		}
+	case target == "internal/core":
+		if baselinePkgs[dep] || dep == "pcsi" || dep == "internal/experiments" {
+			pass.Report(imp.Pos(), "internal/core may not import %s: the PCSI core stands alone from baselines and harnesses", dep)
+			return
+		}
+	case target == "pcsi":
+		if baselinePkgs[dep] || dep == "internal/store" || dep == "internal/experiments" || dep == "internal/pcsinet" || dep == "internal/analysis" {
+			pass.Report(imp.Pos(), "pcsi may not import %s: the facade re-exports internal/core's API surface only", dep)
+			return
+		}
+	}
+
+	switch dep {
+	case "internal/store":
+		if !storeClients[target] {
+			pass.Report(imp.Pos(), "%s may not import internal/store directly: raw store access is reserved for the state layer, core, and the baselines; pick media via internal/media and reach objects through capability-checked interfaces", target)
+		}
+	case "internal/core":
+		if !coreClients[target] {
+			pass.Report(imp.Pos(), "%s may not import internal/core directly: use the pcsi facade", target)
+		}
+	case "internal/analysis":
+		if !analysisClients[target] {
+			pass.Report(imp.Pos(), "%s may not import internal/analysis: only cmd/pcsi-vet runs the analyzers", target)
+		}
+	}
+}

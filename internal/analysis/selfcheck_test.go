@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoInvariants is the self-enforcement gate required by DESIGN.md §5:
+// it loads this repository's own source — every package, including test
+// files — and fails on any diagnostic. A wall-clock call, a global rand
+// draw, a layering breach, or an unchecked mutation anywhere in the tree
+// fails `go test ./...`, not just `go run ./cmd/pcsi-vet ./...`.
+func TestRepoInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo type check is not short")
+	}
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader(repo root): %v", err)
+	}
+	if l.Module != "repro" {
+		t.Fatalf("loaded module %q; test must run from internal/analysis", l.Module)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load repo: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded; repo walk looks broken", len(pkgs))
+	}
+	for _, d := range Run(l, pkgs, All()) {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(l.Root, rel); err == nil {
+			rel = r
+		}
+		t.Errorf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+}

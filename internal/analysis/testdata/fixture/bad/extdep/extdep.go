@@ -1,0 +1,4 @@
+// Package extdep violates the stdlib-only rule.
+package extdep
+
+import _ "example.com/notvendored" // want: layering typecheck

@@ -1,0 +1,16 @@
+// Package randglobal violates the deterministic-randomness invariant.
+package randglobal
+
+import (
+	"math/rand"
+	v2 "math/rand/v2"
+)
+
+// Draw pulls from the global sources instead of a plumbed stream.
+func Draw(xs []int) (int, int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want: detrand
+	return rand.Intn(10), v2.IntN(10)                                     // want: detrand detrand
+}
+
+// Seeded builds a legal, explicitly seeded stream.
+func Seeded() *rand.Rand { return rand.New(rand.NewSource(7)) }

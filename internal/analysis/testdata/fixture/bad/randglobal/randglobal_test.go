@@ -1,0 +1,19 @@
+// In-package test file: unseeded testing/quick configs fall back to a
+// wall-clock-seeded RNG and must be flagged.
+package randglobal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickUnseeded(t *testing.T) {
+	f := func(x int) bool { return x == x }
+	cfg := &quick.Config{MaxCount: 10} // want: detrand
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(f, nil); err != nil { // want: detrand
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package storeuser violates the access rules: raw store and core imports
+// from outside the sanctioned layers.
+package storeuser
+
+import (
+	"fixture/internal/core"  // want: layering
+	"fixture/internal/store" // want: layering
+)
+
+// Wire holds both forbidden imports.
+func Wire(st *store.Store) *core.Client { return core.NewClient(st) }

@@ -1,0 +1,16 @@
+// External test package: the analyzers must reach package foo_test files too.
+package wallclock_test
+
+import (
+	"testing"
+	"time"
+
+	"fixture/bad/wallclock"
+)
+
+func TestStamp(t *testing.T) {
+	time.Sleep(time.Microsecond) // want: simtime
+	if wallclock.Stamp() < 0 {
+		t.Fatal("negative duration")
+	}
+}

@@ -1,0 +1,16 @@
+// Package wallclock violates the simtime invariant.
+package wallclock
+
+import "time"
+
+// Stamp reads the machine clock twice and waits on it.
+func Stamp() time.Duration {
+	start := time.Now()          // want: simtime
+	time.Sleep(time.Millisecond) // want: simtime
+	return time.Since(start)     // want: simtime
+}
+
+// Timer arms a wall-clock timer.
+func Timer() *time.Timer {
+	return time.NewTimer(time.Second) // want: simtime
+}

@@ -1,0 +1,57 @@
+// Package good respects every invariant; the analyzers must stay silent on
+// this entire package.
+package good
+
+import (
+	"math/rand"
+	"time"
+
+	"fixture/internal/object"
+	"fixture/internal/sim"
+)
+
+// tick shows durations and time construction are fine without a directive.
+const tick = 10 * time.Millisecond
+
+// stream is a legal, explicitly seeded package stream.
+var stream = rand.New(rand.NewSource(1))
+
+// Seeded draws from an explicitly seeded environment stream.
+func Seeded() int {
+	env := sim.NewEnv(42)
+	return env.Rand().Intn(100) + stream.Intn(int(tick))
+}
+
+// Reads never need a capability annotation.
+func Reads(o *object.Object) int { return o.Len() }
+
+// clock exists to shadow the time package name below.
+type clock struct{}
+
+// Now on clock is not time.Now.
+func (clock) Now() int { return 0 }
+
+// Shadowed proves a local identifier named time does not trip the analyzer.
+func Shadowed() int {
+	time := clock{}
+	return time.Now()
+}
+
+// Measured reads the real clock under a doc-comment directive covering the
+// whole function.
+//
+//pcsi:allow wallclock fixture-sanctioned real measurement.
+func Measured(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Spread proves a standalone directive covers a multi-line statement,
+// including a closure body.
+func Spread(run func(func() time.Time)) {
+	//pcsi:allow wallclock covers the whole call below.
+	run(func() time.Time {
+		return time.Now()
+	})
+}

@@ -1,0 +1,22 @@
+// Package core is a miniature stand-in for the capability-checked core.
+package core
+
+import (
+	"fixture/internal/object"
+	"fixture/internal/store"
+)
+
+// Client mediates every mutation behind a (stub) rights check.
+type Client struct {
+	st *store.Store
+}
+
+// NewClient returns a client over st.
+func NewClient(st *store.Store) *Client { return &Client{st: st} }
+
+// Put writes data under id after the rights check.
+func (c *Client) Put(id int, data []byte) {
+	o := object.New()
+	o.SetData(data)
+	c.st.Insert(id, o)
+}

@@ -1,0 +1,5 @@
+// Package faas is a miniature stand-in for the compute layer.
+package faas
+
+// Invoke is a placeholder compute entry point.
+func Invoke(name string) string { return name }

@@ -1,0 +1,7 @@
+// Package gc violates layering: the state layer reaching up into compute.
+package gc
+
+import "fixture/internal/faas" // want: layering
+
+// Collect is a placeholder that leans on compute.
+func Collect() string { return faas.Invoke("gc") }

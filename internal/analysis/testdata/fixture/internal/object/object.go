@@ -1,0 +1,19 @@
+// Package object is a miniature stand-in for the real object layer.
+package object
+
+// Object is a blob whose mutators the capdiscipline analyzer guards.
+type Object struct {
+	data []byte
+}
+
+// New returns an empty object.
+func New() *Object { return &Object{} }
+
+// SetData replaces the content.
+func (o *Object) SetData(b []byte) { o.data = append(o.data[:0], b...) }
+
+// Append adds b to the content.
+func (o *Object) Append(b []byte) { o.data = append(o.data, b...) }
+
+// Len reports the content size; reads are unrestricted.
+func (o *Object) Len() int { return len(o.data) }

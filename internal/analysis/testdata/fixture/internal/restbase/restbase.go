@@ -1,0 +1,8 @@
+// Package restbase violates layering: a baseline importing the core it is
+// measured against.
+package restbase
+
+import "fixture/internal/core" // want: layering
+
+// Serve is a placeholder front door.
+func Serve(c *core.Client) { c.Put(1, nil) }

@@ -1,0 +1,17 @@
+// Package sim is a miniature stand-in for the real simulation substrate.
+package sim
+
+import "math/rand"
+
+// Env is a virtual-time environment stub carrying a seeded random stream.
+type Env struct {
+	rng *rand.Rand
+}
+
+// NewEnv returns an Env whose stream is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand returns the deterministic stream.
+func (e *Env) Rand() *rand.Rand { return e.rng }

@@ -1,0 +1,7 @@
+// Package simnet violates layering: a substrate importing state.
+package simnet
+
+import "fixture/internal/object" // want: layering
+
+// Hold keeps the forbidden import used.
+var Hold = object.New()

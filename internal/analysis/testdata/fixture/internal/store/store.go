@@ -1,0 +1,18 @@
+// Package store is a miniature stand-in for the real durable store.
+package store
+
+import "fixture/internal/object"
+
+// Store maps ids to objects.
+type Store struct {
+	objs map[int]*object.Object
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{objs: make(map[int]*object.Object)} }
+
+// Insert adds o under id.
+func (s *Store) Insert(id int, o *object.Object) { s.objs[id] = o }
+
+// Get looks up id.
+func (s *Store) Get(id int) *object.Object { return s.objs[id] }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -57,7 +58,7 @@ type Group struct {
 
 // NewGroup builds a replicated group with one replica on each given node,
 // all using the same storage medium.
-func NewGroup(env *sim.Env, net *simnet.Network, nodes []simnet.NodeID, media store.MediaProfile) *Group {
+func NewGroup(env *sim.Env, net *simnet.Network, nodes []simnet.NodeID, media media.Profile) *Group {
 	g := &Group{env: env, net: net, locks: make(map[object.ID]*sim.Resource)}
 	for i, n := range nodes {
 		g.replicas = append(g.replicas, &Replica{

@@ -6,10 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // testbed builds a 3-replica group across racks plus a client node.
@@ -21,7 +21,7 @@ func testbed(seed int64) (*sim.Env, *simnet.Network, *Group, simnet.NodeID) {
 		nodes = append(nodes, net.AddNode(rack))
 	}
 	client := net.AddNode(0) // same rack as replica 0
-	g := NewGroup(env, net, nodes, store.DRAM)
+	g := NewGroup(env, net, nodes, media.DRAM)
 	return env, net, g, client
 }
 

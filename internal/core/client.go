@@ -7,10 +7,10 @@ import (
 	"repro/internal/capability"
 	"repro/internal/consistency"
 	"repro/internal/cost"
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // Client is a PCSI session bound to an origin node. All data operations
@@ -89,7 +89,7 @@ func (cl *Client) Create(p *sim.Proc, kind object.Kind, opts ...CreateOpt) (Ref,
 				return Ref{}, err
 			}
 		}
-		p.Sleep(store.DRAM.WriteLatency)
+		p.Sleep(media.DRAM.WriteLatency)
 		cl.observe(p, start)
 		return Ref{cap: cl.c.caps.Mint(id, capability.All), lvl: params.lvl}, nil
 	}
@@ -157,7 +157,7 @@ func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
 	start := p.Now()
 	if e, ok := cl.c.cacheFor(cl.node)[r.cap.Object()]; ok && e.stable {
 		cl.c.CacheHits++
-		p.Sleep(store.DRAM.ReadCost(int64(len(e.data))))
+		p.Sleep(media.DRAM.ReadCost(int64(len(e.data))))
 		cl.c.Meter.Charge("read", cost.PCSIBook.ReadCost(int64(len(e.data)), false))
 		cl.observe(p, start)
 		return append([]byte(nil), e.data...), nil

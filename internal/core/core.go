@@ -30,13 +30,13 @@ import (
 	"repro/internal/cost"
 	"repro/internal/faas"
 	"repro/internal/gc"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/platform"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // PlacementPolicy selects the scheduler used for function placement.
@@ -73,7 +73,7 @@ type Options struct {
 	ClusterCfg cluster.Config
 	// Replicas is the state replication factor (one per rack by default).
 	Replicas int
-	Media    store.MediaProfile
+	Media    media.Profile
 	Policy   PlacementPolicy
 	// FaaS tuning.
 	IdleTimeout  sim.Duration
@@ -91,7 +91,7 @@ func DefaultOptions() Options {
 		NetProfile: simnet.DC2021,
 		ClusterCfg: cluster.DefaultConfig,
 		Replicas:   3,
-		Media:      store.NVMe,
+		Media:      media.NVMe,
 		Policy:     PlaceColocate,
 		GPUMemMB:   16384,
 	}
@@ -145,7 +145,7 @@ func New(opts Options) *Cloud {
 		opts.Replicas = 3
 	}
 	if opts.Media.Name == "" {
-		opts.Media = store.NVMe
+		opts.Media = media.NVMe
 	}
 	if opts.GPUMemMB <= 0 {
 		opts.GPUMemMB = 16384

@@ -10,10 +10,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/consistency"
 	"repro/internal/faas"
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/platform"
 	"repro/internal/sim"
-	"repro/internal/store"
 )
 
 func testCloud(seed int64) *Cloud {
@@ -24,7 +24,7 @@ func testCloud(seed int64) *Cloud {
 		NodeCap:         cluster.Resources{MilliCPU: 16000, MemMB: 32768},
 		GPUNodesPerRack: 1, GPUsPerGPUNode: 2,
 	}
-	opts.Media = store.DRAM
+	opts.Media = media.DRAM
 	return New(opts)
 }
 

@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // Ephemeral objects implement §3.2's observation that "PCSI only describes
@@ -58,11 +58,11 @@ func (c *Cloud) ephemOf(id object.ID) (*ephemObj, bool) {
 func (cl *Client) ephemAccess(p *sim.Proc, e *ephemObj, sendSize, recvSize int) {
 	if cl.node == e.owner {
 		cl.c.CacheHits++
-		p.Sleep(store.DRAM.ReadCost(int64(sendSize + recvSize)))
+		p.Sleep(media.DRAM.ReadCost(int64(sendSize + recvSize)))
 		return
 	}
 	cl.c.net.Send(p, cl.node, e.owner, 64+sendSize)
-	p.Sleep(store.DRAM.ReadCost(int64(sendSize + recvSize)))
+	p.Sleep(media.DRAM.ReadCost(int64(sendSize + recvSize)))
 	cl.c.net.Send(p, e.owner, cl.node, 64+recvSize)
 	cl.c.BytesMoved += int64(sendSize + recvSize)
 }

@@ -14,11 +14,11 @@ import (
 
 	"repro/internal/consistency"
 	"repro/internal/cost"
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/restbase"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // Table is a DynamoDB-like key-value table.
@@ -30,7 +30,7 @@ type Table struct {
 
 // New builds a table with nReplicas spread across racks, on the given
 // media.
-func New(net *simnet.Network, nReplicas int, media store.MediaProfile) *Table {
+func New(net *simnet.Network, nReplicas int, media media.Profile) *Table {
 	var nodes []simnet.NodeID
 	for i := 0; i < nReplicas; i++ {
 		nodes = append(nodes, net.AddNode(i))

@@ -4,15 +4,15 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/media"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 func testTable(seed int64) (*sim.Env, *Table, simnet.NodeID) {
 	env := sim.NewEnv(seed)
 	net := simnet.New(env, simnet.DC2021)
-	tbl := New(net, 3, store.Disk)
+	tbl := New(net, 3, media.Disk)
 	client := net.AddNode(2)
 	return env, tbl, client
 }

@@ -5,10 +5,10 @@ import (
 
 	"repro/internal/capability"
 	"repro/internal/core"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/sim"
-	"repro/internal/store"
 )
 
 // E10 validates §3.2's reachability claim: "An object is only accessible
@@ -27,7 +27,7 @@ func runE10(seed int64) *Report {
 	r := &Report{ID: "E10", Title: "§3.2: automated reclamation of unreachable objects"}
 	opts := core.DefaultOptions()
 	opts.Seed = seed
-	opts.Media = store.DRAM
+	opts.Media = media.DRAM
 	cloud := core.New(opts)
 	client := cloud.NewClient(0)
 	env := cloud.Env()

@@ -6,11 +6,11 @@ import (
 	"time"
 
 	"repro/internal/consistency"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // E11 (extension) makes §3.3's opening sentence measurable: "Reconciling
@@ -33,7 +33,7 @@ func runE11(seed int64) *Report {
 	for i := 0; i < 3; i++ {
 		nodes = append(nodes, net.AddNode(i))
 	}
-	g := consistency.NewGroup(env, net, nodes, store.DRAM)
+	g := consistency.NewGroup(env, net, nodes, media.DRAM)
 	g.StartAntiEntropy(5 * time.Millisecond)
 	client := net.AddNode(0)
 
@@ -71,6 +71,7 @@ func runE11(seed int64) *Report {
 			for _, d := range st.downs {
 				g.SetDown(reorder(d), true)
 			}
+			//pcsi:allow rawmutation mutator runs inside Group.Apply's quorum-fenced update path
 			st.linErr = g.Apply(p, client, id, consistency.Linearizable, 1, func(o *object.Object) error {
 				return o.SetData([]byte(st.name))
 			})

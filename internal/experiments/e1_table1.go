@@ -25,6 +25,12 @@ func init() {
 
 // measure runs fn repeatedly for at least wall time budget and returns the
 // per-iteration latency.
+//
+// This is the harness for Table 1's real-measurement rows (marshaling,
+// loopback HTTP/TCP, getpid, indirect call), which are wall-clock by design:
+// they measure this machine, not the simulated cloud.
+//
+//pcsi:allow wallclock Table 1 measured rows run on the real clock.
 func measure(warmup, iters int, fn func()) time.Duration {
 	for i := 0; i < warmup; i++ {
 		fn()

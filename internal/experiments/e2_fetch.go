@@ -8,12 +8,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dynamo"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/nfsbase"
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // E2 reproduces the inline §2.1 measurement: "fetching a 1KB object via
@@ -33,7 +33,7 @@ func runE2(seed int64) *Report {
 	// --- NFS-style stateful fetch ---
 	envN := sim.NewEnv(seed)
 	netN := simnet.New(envN, simnet.DC2021)
-	srv := nfsbase.NewServer(netN, store.Disk)
+	srv := nfsbase.NewServer(netN, media.Disk)
 	if err := srv.Export("obj", payload); err != nil {
 		r.Check("setup", false, "export: %v", err)
 		return r
@@ -64,7 +64,7 @@ func runE2(seed int64) *Report {
 	// --- DynamoDB-style REST fetch ---
 	envD := sim.NewEnv(seed)
 	netD := simnet.New(envD, simnet.DC2021)
-	tbl := dynamo.New(netD, 3, store.Disk)
+	tbl := dynamo.New(netD, 3, media.Disk)
 	clientD := netD.AddNode(2)
 	dynLatStrong := metrics.NewHistogram("dyn-strong")
 	dynLatEv := metrics.NewHistogram("dyn-eventual")
@@ -90,7 +90,7 @@ func runE2(seed int64) *Report {
 	// --- PCSI reference fetch on the same media (this work) ---
 	pcsiOpts := core.DefaultOptions()
 	pcsiOpts.Seed = seed
-	pcsiOpts.Media = store.Disk
+	pcsiOpts.Media = media.Disk
 	cloudP := core.New(pcsiOpts)
 	clientP := cloudP.NewClient(0)
 	pcsiLat := metrics.NewHistogram("pcsi")

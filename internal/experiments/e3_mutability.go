@@ -58,15 +58,11 @@ func runE3(seed int64) *Report {
 	ops := metrics.NewTable("Operation legality per mutability level",
 		"Level", "overwrite", "append", "truncate", "cache-stable")
 	for _, lvl := range object.Levels() {
-		o := object.New(1, object.Regular)
-		_ = o.SetData([]byte("seed-data"))
-		if err := o.SetMutability(lvl); err != nil {
+		wErr, aErr, tErr, err := probeOps(lvl)
+		if err != nil {
 			r.Check("setup-"+lvl.String(), false, "cannot reach level: %v", err)
 			continue
 		}
-		_, wErr := o.WriteAt([]byte("x"), 0)
-		aErr := o.Append([]byte("y"))
-		tErr := o.Truncate(1)
 		ops.Row(lvl.String(), mark(wErr == nil), mark(aErr == nil), mark(tErr == nil), mark(lvl.CacheStable()))
 	}
 	r.Tables = append(r.Tables, ops)
@@ -84,4 +80,23 @@ func runE3(seed int64) *Report {
 		!object.FixedSize.CanTransition(object.AppendOnly),
 		"APPEND_ONLY and FIXED_SIZE are incomparable branches of the lattice")
 	return r
+}
+
+// probeOps exercises each mutation primitive against a throwaway object at
+// the given mutability level and reports which ones the level permits.
+//
+// E3 regenerates Figure 1, the object-layer lattice itself, so it probes the
+// raw object API deliberately — there is no capability layer under test.
+//
+//pcsi:allow rawmutation E3 property-tests the mutability lattice primitives.
+func probeOps(lvl object.Mutability) (wErr, aErr, tErr, setupErr error) {
+	o := object.New(1, object.Regular)
+	_ = o.SetData([]byte("seed-data"))
+	if err := o.SetMutability(lvl); err != nil {
+		return nil, nil, nil, err
+	}
+	_, wErr = o.WriteAt([]byte("x"), 0)
+	aErr = o.Append([]byte("y"))
+	tErr = o.Truncate(1)
+	return wErr, aErr, tErr, nil
 }

@@ -8,11 +8,11 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/consistency"
 	"repro/internal/core"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/platform"
 	"repro/internal/sim"
-	"repro/internal/store"
 )
 
 // E4 reproduces Figure 2 and §4.1: the model-serving pipeline —
@@ -84,7 +84,7 @@ func runPipeline(seed int64, policy core.PlacementPolicy, r *Report) *pipelineSt
 	opts := core.DefaultOptions()
 	opts.Seed = seed
 	opts.Policy = policy
-	opts.Media = store.NVMe
+	opts.Media = media.NVMe
 	cloud := core.New(opts)
 	client := cloud.NewClient(0)
 	stats := &pipelineStats{policy: policy, lat: metrics.NewHistogram(policy.String())}

@@ -4,11 +4,11 @@ import (
 	"time"
 
 	"repro/internal/consistency"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // E6 reproduces §3.3/§4.3: the two-entry consistency menu. A 3-replica
@@ -30,7 +30,7 @@ func runE6(seed int64) *Report {
 	for i := 0; i < 3; i++ {
 		nodes = append(nodes, net.AddNode(i))
 	}
-	grp := consistency.NewGroup(env, net, nodes, store.NVMe)
+	grp := consistency.NewGroup(env, net, nodes, media.NVMe)
 	grp.StartAntiEntropy(10 * time.Millisecond)
 	client := net.AddNode(0)
 
@@ -52,6 +52,7 @@ func runE6(seed int64) *Report {
 			return
 		}
 		p.Sleep(50 * time.Millisecond) // let the create settle on all replicas
+		//pcsi:allow rawmutation mutator runs inside Group.Apply's quorum-fenced update path
 		set := func(o *object.Object) error { return o.SetData(payload) }
 		for i := 0; i < ops; i++ {
 			t0 := p.Now()
@@ -80,6 +81,7 @@ func runE6(seed int64) *Report {
 			er.Observe(p.Now().Sub(t0))
 		}
 		// Convergence: one final eventual write, then wait for gossip.
+		//pcsi:allow rawmutation mutator runs inside Group.Apply's replica update path
 		if err := grp.Apply(p, client, id, consistency.Eventual, 9, func(o *object.Object) error {
 			return o.SetData([]byte("converged"))
 		}); err != nil {

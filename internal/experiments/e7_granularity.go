@@ -6,12 +6,12 @@ import (
 
 	"repro/internal/consistency"
 	"repro/internal/core"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/restbase"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // E7 quantifies §2.1's central claim: "web service overheads will
@@ -46,7 +46,7 @@ func runE7(seed int64) *Report {
 		for i := 0; i < 3; i++ {
 			nodesR = append(nodesR, netR.AddNode(i))
 		}
-		grpR := consistency.NewGroup(envR, netR, nodesR, store.DRAM)
+		grpR := consistency.NewGroup(envR, netR, nodesR, media.DRAM)
 		gwCfg := restbase.DefaultConfig()
 		gwCfg.RawBody = true // object-store style: large bodies stream raw
 		gw := restbase.NewGateway(netR, grpR, gwCfg)
@@ -75,7 +75,7 @@ func runE7(seed int64) *Report {
 		opts := core.DefaultOptions()
 		opts.Seed = seed
 		opts.NetProfile = simnet.FastNet
-		opts.Media = store.DRAM
+		opts.Media = media.DRAM
 		cloud := core.New(opts)
 		clientP := cloud.NewClient(0)
 		var pcsiLat time.Duration

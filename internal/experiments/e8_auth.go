@@ -7,12 +7,12 @@ import (
 	"repro/internal/capability"
 	"repro/internal/consistency"
 	"repro/internal/core"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/restbase"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 // E8 isolates §3.2's statefulness argument: "Statelessness is
@@ -47,7 +47,7 @@ func runE8(seed int64) *Report {
 		for i := 0; i < 3; i++ {
 			nodes = append(nodes, netR.AddNode(i))
 		}
-		grp := consistency.NewGroup(envR, netR, nodes, store.DRAM)
+		grp := consistency.NewGroup(envR, netR, nodes, media.DRAM)
 		cfg := restbase.DefaultConfig()
 		cfg.RoutingHops = 0 // isolate the auth path from routing costs
 		gw := restbase.NewGateway(netR, grp, cfg)
@@ -76,7 +76,7 @@ func runE8(seed int64) *Report {
 		// operate through the reference with local checks.
 		opts := core.DefaultOptions()
 		opts.Seed = seed
-		opts.Media = store.DRAM
+		opts.Media = media.DRAM
 		cloud := core.New(opts)
 		clientP := cloud.NewClient(0)
 		var pcsiTime time.Duration

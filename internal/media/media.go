@@ -1,0 +1,37 @@
+// Package media models the access cost of storage media. It sits at the
+// substrate layer so that configuration-level code (experiments, examples,
+// deployment options) can pick a medium without importing the state layer:
+// DESIGN.md §3's layering rule reserves direct internal/store access for the
+// state layer, core, and the baselines.
+package media
+
+import "time"
+
+// Profile models the access cost of a backing medium.
+type Profile struct {
+	Name string
+	// ReadLatency / WriteLatency are fixed per-op access times.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	// Bandwidth is sustained transfer in bytes/second.
+	Bandwidth float64
+}
+
+// Standard media. NVMe figures are contemporary flash; Disk matches the
+// ~1ms seek-dominated service time implied by the paper's §2.1 NFS
+// measurement; DRAM is a memory-resident store.
+var (
+	DRAM = Profile{Name: "dram", ReadLatency: 200 * time.Nanosecond, WriteLatency: 200 * time.Nanosecond, Bandwidth: 25e9}
+	NVMe = Profile{Name: "nvme", ReadLatency: 80 * time.Microsecond, WriteLatency: 20 * time.Microsecond, Bandwidth: 3e9}
+	Disk = Profile{Name: "disk", ReadLatency: 1200 * time.Microsecond, WriteLatency: 1200 * time.Microsecond, Bandwidth: 200e6}
+)
+
+// ReadCost returns the modelled time to read size bytes.
+func (m Profile) ReadCost(size int64) time.Duration {
+	return m.ReadLatency + time.Duration(float64(size)/m.Bandwidth*float64(time.Second))
+}
+
+// WriteCost returns the modelled time to write size bytes.
+func (m Profile) WriteCost(size int64) time.Duration {
+	return m.WriteLatency + time.Duration(float64(size)/m.Bandwidth*float64(time.Second))
+}

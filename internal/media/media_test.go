@@ -1,0 +1,38 @@
+package media
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReadWriteCostIncludesLatencyAndTransfer(t *testing.T) {
+	m := Profile{Name: "t", ReadLatency: time.Millisecond, WriteLatency: 2 * time.Millisecond, Bandwidth: 1e9}
+	// 1e6 bytes at 1 GB/s is 1ms of transfer on top of the fixed latency.
+	if got, want := m.ReadCost(1_000_000), 2*time.Millisecond; got != want {
+		t.Errorf("ReadCost = %v, want %v", got, want)
+	}
+	if got, want := m.WriteCost(1_000_000), 3*time.Millisecond; got != want {
+		t.Errorf("WriteCost = %v, want %v", got, want)
+	}
+}
+
+func TestZeroSizeCostIsLatency(t *testing.T) {
+	for _, m := range []Profile{DRAM, NVMe, Disk} {
+		if m.ReadCost(0) != m.ReadLatency {
+			t.Errorf("%s: ReadCost(0) = %v, want %v", m.Name, m.ReadCost(0), m.ReadLatency)
+		}
+		if m.WriteCost(0) != m.WriteLatency {
+			t.Errorf("%s: WriteCost(0) = %v, want %v", m.Name, m.WriteCost(0), m.WriteLatency)
+		}
+	}
+}
+
+func TestStandardMediaOrdering(t *testing.T) {
+	// The media hierarchy the experiments rely on: DRAM ≪ NVMe ≪ Disk.
+	if !(DRAM.ReadLatency < NVMe.ReadLatency && NVMe.ReadLatency < Disk.ReadLatency) {
+		t.Errorf("read latency ordering violated: %v %v %v", DRAM.ReadLatency, NVMe.ReadLatency, Disk.ReadLatency)
+	}
+	if !(DRAM.Bandwidth > NVMe.Bandwidth && NVMe.Bandwidth > Disk.Bandwidth) {
+		t.Errorf("bandwidth ordering violated")
+	}
+}

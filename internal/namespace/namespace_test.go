@@ -4,13 +4,14 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/store"
 )
 
 func newNS(t *testing.T) (*store.Store, *Namespace) {
 	t.Helper()
-	st := store.New(store.DRAM, 0)
+	st := store.New(media.DRAM, 0)
 	root := st.Create(object.Directory)
 	ns, err := New(st, root.ID())
 	if err != nil {
@@ -20,7 +21,7 @@ func newNS(t *testing.T) (*store.Store, *Namespace) {
 }
 
 func TestNewRequiresDirectory(t *testing.T) {
-	st := store.New(store.DRAM, 0)
+	st := store.New(media.DRAM, 0)
 	f := st.Create(object.Regular)
 	if _, err := New(st, f.ID()); !errors.Is(err, ErrNotDir) {
 		t.Fatalf("err = %v, want ErrNotDir", err)

@@ -3,9 +3,11 @@ package namespace
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/store"
 )
@@ -30,7 +32,7 @@ func TestUnionMatchesModelProperty(t *testing.T) {
 	paths := []string{"a", "b", "dir/x", "dir/y", "deep/er/z"}
 
 	f := func(baseFiles []byte, ops []op) bool {
-		st := store.New(store.DRAM, 0)
+		st := store.New(media.DRAM, 0)
 		rootObj := st.Create(object.Directory)
 		lower, err := New(st, rootObj.ID())
 		if err != nil {
@@ -140,7 +142,7 @@ func TestUnionMatchesModelProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
 	}
 }

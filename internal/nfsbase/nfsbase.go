@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/sim"
@@ -49,7 +50,7 @@ type Server struct {
 }
 
 // NewServer exports a fresh server (in rack 0) on disk media.
-func NewServer(net *simnet.Network, media store.MediaProfile) *Server {
+func NewServer(net *simnet.Network, media media.Profile) *Server {
 	return &Server{
 		node:      net.AddNode(0),
 		st:        store.New(media, 0),

@@ -5,15 +5,15 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/media"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 )
 
 func testServer(seed int64) (*sim.Env, *Server, simnet.NodeID) {
 	env := sim.NewEnv(seed)
 	net := simnet.New(env, simnet.DC2021)
-	srv := NewServer(net, store.Disk)
+	srv := NewServer(net, media.Disk)
 	client := net.AddNode(1) // cross-rack, like a real mount
 	return env, srv, client
 }

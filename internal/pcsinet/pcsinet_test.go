@@ -6,14 +6,14 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/media"
 	"repro/internal/platform"
-	"repro/internal/store"
 )
 
 func startServer(t *testing.T) (*Server, *Client) {
 	t.Helper()
 	opts := core.DefaultOptions()
-	opts.Media = store.DRAM
+	opts.Media = media.DRAM
 	srv := NewServer(core.New(opts))
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

@@ -6,10 +6,10 @@ import (
 	"time"
 
 	"repro/internal/consistency"
+	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
-	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -20,7 +20,7 @@ func testGateway(seed int64, cfg Config) (*sim.Env, *Gateway, simnet.NodeID) {
 	for i := 0; i < 3; i++ {
 		nodes = append(nodes, net.AddNode(i))
 	}
-	grp := consistency.NewGroup(env, net, nodes, store.DRAM)
+	grp := consistency.NewGroup(env, net, nodes, media.DRAM)
 	gw := NewGateway(net, grp, cfg)
 	client := net.AddNode(2)
 	return env, gw, client

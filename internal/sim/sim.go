@@ -15,6 +15,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"time"
 )
@@ -80,6 +81,8 @@ type Env struct {
 	parked  map[*Proc]struct{}
 	closed  bool
 	running bool
+	seed    int64
+	forks   uint64
 	rng     *rand.Rand
 }
 
@@ -89,6 +92,7 @@ func NewEnv(seed int64) *Env {
 	return &Env{
 		yield:  make(chan struct{}),
 		parked: make(map[*Proc]struct{}),
+		seed:   seed,
 		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
@@ -96,8 +100,26 @@ func NewEnv(seed int64) *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// Rand returns the environment's deterministic random stream.
+// Seed returns the seed the environment was created with.
+func (e *Env) Seed() int64 { return e.seed }
+
+// Rand returns the environment's shared deterministic random stream.
+// Components whose draws must not depend on what else runs in the
+// environment should hold their own stream from ForkRand instead.
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// ForkRand returns a fresh deterministic random stream derived from the
+// environment seed, the label, and a per-environment fork counter. Forked
+// streams are independent of the shared Rand stream and of each other, so a
+// component drawing from its own fork sees the same sequence regardless of
+// draw interleaving elsewhere — only the seed and the order of ForkRand
+// calls matter.
+func (e *Env) ForkRand(label string) *rand.Rand {
+	e.forks++
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%d", e.seed, label, e.forks)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
 
 // schedule enqueues fn to run at time t (>= now).
 func (e *Env) schedule(t Time, fn func()) *event {

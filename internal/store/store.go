@@ -1,6 +1,6 @@
 // Package store implements the node-local object store that backs PCSI
 // state replicas: an ID-allocating in-memory extent store with quota
-// accounting and simulated media access costs.
+// accounting and simulated media access costs (internal/media).
 //
 // A Store represents one storage server's worth of objects. Replication and
 // consistency live a layer up (internal/consistency); this layer only
@@ -11,8 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"time"
 
+	"repro/internal/media"
 	"repro/internal/object"
 )
 
@@ -22,38 +22,9 @@ var (
 	ErrQuota    = errors.New("store: quota exceeded")
 )
 
-// MediaProfile models the access cost of the backing medium.
-type MediaProfile struct {
-	Name string
-	// ReadLatency / WriteLatency are fixed per-op access times.
-	ReadLatency  time.Duration
-	WriteLatency time.Duration
-	// Bandwidth is sustained transfer in bytes/second.
-	Bandwidth float64
-}
-
-// Standard media. NVMe figures are contemporary flash; Disk matches the
-// ~1ms seek-dominated service time implied by the paper's §2.1 NFS
-// measurement; DRAM is a memory-resident store.
-var (
-	DRAM = MediaProfile{Name: "dram", ReadLatency: 200 * time.Nanosecond, WriteLatency: 200 * time.Nanosecond, Bandwidth: 25e9}
-	NVMe = MediaProfile{Name: "nvme", ReadLatency: 80 * time.Microsecond, WriteLatency: 20 * time.Microsecond, Bandwidth: 3e9}
-	Disk = MediaProfile{Name: "disk", ReadLatency: 1200 * time.Microsecond, WriteLatency: 1200 * time.Microsecond, Bandwidth: 200e6}
-)
-
-// ReadCost returns the modelled time to read size bytes.
-func (m MediaProfile) ReadCost(size int64) time.Duration {
-	return m.ReadLatency + time.Duration(float64(size)/m.Bandwidth*float64(time.Second))
-}
-
-// WriteCost returns the modelled time to write size bytes.
-func (m MediaProfile) WriteCost(size int64) time.Duration {
-	return m.WriteLatency + time.Duration(float64(size)/m.Bandwidth*float64(time.Second))
-}
-
 // Store is a single node's object store.
 type Store struct {
-	media   MediaProfile
+	media   media.Profile
 	objects map[object.ID]*object.Object
 	nextID  object.ID
 	quota   int64 // bytes; 0 = unlimited
@@ -65,12 +36,12 @@ type Store struct {
 
 // New returns an empty store on the given medium with a byte quota
 // (0 = unlimited).
-func New(media MediaProfile, quota int64) *Store {
-	return &Store{media: media, objects: make(map[object.ID]*object.Object), nextID: 1, quota: quota}
+func New(m media.Profile, quota int64) *Store {
+	return &Store{media: m, objects: make(map[object.ID]*object.Object), nextID: 1, quota: quota}
 }
 
 // Media returns the store's medium profile.
-func (s *Store) Media() MediaProfile { return s.media }
+func (s *Store) Media() media.Profile { return s.media }
 
 // Used returns bytes of payload currently stored.
 func (s *Store) Used() int64 { return s.used }

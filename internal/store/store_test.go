@@ -4,11 +4,12 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/media"
 	"repro/internal/object"
 )
 
 func TestCreateAllocatesDistinctIDs(t *testing.T) {
-	s := New(DRAM, 0)
+	s := New(media.DRAM, 0)
 	a := s.Create(object.Regular)
 	b := s.Create(object.Directory)
 	if a.ID() == b.ID() {
@@ -24,14 +25,14 @@ func TestCreateAllocatesDistinctIDs(t *testing.T) {
 }
 
 func TestGetMissing(t *testing.T) {
-	s := New(DRAM, 0)
+	s := New(media.DRAM, 0)
 	if _, err := s.Get(999); !errors.Is(err, ErrNotFound) {
 		t.Errorf("err = %v, want ErrNotFound", err)
 	}
 }
 
 func TestQuotaEnforcedAtomically(t *testing.T) {
-	s := New(DRAM, 100)
+	s := New(media.DRAM, 100)
 	o := s.Create(object.Regular)
 	if err := s.SetData(o.ID(), make([]byte, 60)); err != nil {
 		t.Fatal(err)
@@ -49,7 +50,7 @@ func TestQuotaEnforcedAtomically(t *testing.T) {
 }
 
 func TestQuotaAccountsShrink(t *testing.T) {
-	s := New(DRAM, 100)
+	s := New(media.DRAM, 100)
 	o := s.Create(object.Regular)
 	if err := s.SetData(o.ID(), make([]byte, 90)); err != nil {
 		t.Fatal(err)
@@ -68,7 +69,7 @@ func TestQuotaAccountsShrink(t *testing.T) {
 }
 
 func TestAppendQuota(t *testing.T) {
-	s := New(DRAM, 10)
+	s := New(media.DRAM, 10)
 	o := s.Create(object.Regular)
 	if err := s.Append(o.ID(), make([]byte, 8)); err != nil {
 		t.Fatal(err)
@@ -82,7 +83,7 @@ func TestAppendQuota(t *testing.T) {
 }
 
 func TestDeleteReclaims(t *testing.T) {
-	s := New(DRAM, 0)
+	s := New(media.DRAM, 0)
 	o := s.Create(object.Regular)
 	if err := s.SetData(o.ID(), make([]byte, 42)); err != nil {
 		t.Fatal(err)
@@ -99,7 +100,7 @@ func TestDeleteReclaims(t *testing.T) {
 }
 
 func TestInsertRejectsDuplicates(t *testing.T) {
-	s := New(DRAM, 0)
+	s := New(media.DRAM, 0)
 	o := s.Create(object.Regular)
 	dup := object.New(o.ID(), object.Regular)
 	if err := s.Insert(dup); err == nil {
@@ -117,7 +118,7 @@ func TestInsertRejectsDuplicates(t *testing.T) {
 }
 
 func TestIDsSorted(t *testing.T) {
-	s := New(DRAM, 0)
+	s := New(media.DRAM, 0)
 	for i := 0; i < 10; i++ {
 		s.Create(object.Regular)
 	}
@@ -131,22 +132,22 @@ func TestIDsSorted(t *testing.T) {
 
 func TestMediaCosts(t *testing.T) {
 	// Disk must be far slower than DRAM, and cost must grow with size.
-	if Disk.ReadCost(1024) <= DRAM.ReadCost(1024) {
+	if media.Disk.ReadCost(1024) <= media.DRAM.ReadCost(1024) {
 		t.Error("disk read not slower than DRAM")
 	}
-	if NVMe.ReadCost(1<<20) <= NVMe.ReadCost(1024) {
+	if media.NVMe.ReadCost(1<<20) <= media.NVMe.ReadCost(1024) {
 		t.Error("read cost does not grow with size")
 	}
 	// §2.1 calibration: a 1KB read from disk should be ~1.2ms, the bulk of
 	// the paper's 1.5ms NFS fetch.
-	c := Disk.ReadCost(1024)
+	c := media.Disk.ReadCost(1024)
 	if c < 1_000_000 || c > 1_500_000 {
 		t.Errorf("Disk 1KB read = %v, want ~1.2ms", c)
 	}
 }
 
 func TestReadWriteCounters(t *testing.T) {
-	s := New(DRAM, 0)
+	s := New(media.DRAM, 0)
 	o := s.Create(object.Regular)
 	if err := s.SetData(o.ID(), []byte("x")); err != nil {
 		t.Fatal(err)
@@ -163,7 +164,7 @@ func TestReadWriteCounters(t *testing.T) {
 }
 
 func TestContains(t *testing.T) {
-	s := New(DRAM, 0)
+	s := New(media.DRAM, 0)
 	o := s.Create(object.Regular)
 	if !s.Contains(o.ID()) {
 		t.Error("Contains = false for stored object")

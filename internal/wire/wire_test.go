@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -77,7 +78,7 @@ func TestRoundTripProperty(t *testing.T) {
 			return got.Op == op && got.Key == key && got.Auth == auth &&
 				got.Status == int(status) && bytes.Equal(got.Body, body)
 		}
-		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
 			t.Errorf("%s: %v", c.Name(), err)
 		}
 	}

@@ -1,7 +1,9 @@
 // Package workload generates synthetic load for the experiments: arrival
 // processes (Poisson, bursty, diurnal), Zipf-skewed object popularity, and
-// size distributions. All generators draw from a sim.Env's deterministic
-// random stream, so experiments are reproducible by seed.
+// size distributions. Each generator holds its own stream forked from the
+// sim.Env seed (sim.Env.ForkRand), so experiments are reproducible by seed
+// and a generator's draw sequence does not depend on what else runs in the
+// environment.
 package workload
 
 import (
@@ -26,7 +28,7 @@ type Poisson struct {
 
 // NewPoisson returns a Poisson process at ratePerSec.
 func NewPoisson(env *sim.Env, ratePerSec float64) *Poisson {
-	return &Poisson{rng: env.Rand(), rate: ratePerSec}
+	return &Poisson{rng: env.ForkRand("workload.poisson"), rate: ratePerSec}
 }
 
 // Next implements Arrivals with exponential gaps.
@@ -52,7 +54,7 @@ type Bursty struct {
 // for burstLen out of every burstLen+quietLen.
 func NewBursty(env *sim.Env, baseRate, peakRate float64, burstLen, quietLen time.Duration) *Bursty {
 	return &Bursty{
-		rng:      env.Rand(),
+		rng:      env.ForkRand("workload.bursty"),
 		base:     NewPoisson(env, baseRate),
 		peak:     NewPoisson(env, peakRate),
 		burstLen: burstLen, quietLen: quietLen,
@@ -91,7 +93,7 @@ type Diurnal struct {
 
 // NewDiurnal returns a diurnal process.
 func NewDiurnal(env *sim.Env, lowRate, highRate float64, period time.Duration) *Diurnal {
-	return &Diurnal{rng: env.Rand(), env: env, low: lowRate, high: highRate, period: period}
+	return &Diurnal{rng: env.ForkRand("workload.diurnal"), env: env, low: lowRate, high: highRate, period: period}
 }
 
 // RateAt returns the instantaneous rate at virtual time t.
@@ -118,7 +120,7 @@ type Zipf struct {
 
 // NewZipf returns a Zipf picker over n items with exponent s (s > 1).
 func NewZipf(env *sim.Env, n uint64, s float64) *Zipf {
-	return &Zipf{z: rand.NewZipf(env.Rand(), s, 1, n-1)}
+	return &Zipf{z: rand.NewZipf(env.ForkRand("workload.zipf"), s, 1, n-1)}
 }
 
 // Pick returns an item index; index 0 is the most popular.
@@ -148,7 +150,7 @@ type LogNormalSizes struct {
 // NewLogNormalSizes returns a log-normal size distribution with the given
 // median and sigma (log-space), clamped to [min, max].
 func NewLogNormalSizes(env *sim.Env, median int, sigma float64, min, max int) *LogNormalSizes {
-	return &LogNormalSizes{rng: env.Rand(), mu: math.Log(float64(median)), sigma: sigma, min: min, max: max}
+	return &LogNormalSizes{rng: env.ForkRand("workload.sizes"), mu: math.Log(float64(median)), sigma: sigma, min: min, max: max}
 }
 
 // Next implements Sizes.

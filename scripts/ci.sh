@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# CI gate: build, vet (go vet + the repo's own invariant analyzers), then
+# the full test suite under the race detector. Run from anywhere; operates
+# on the repository containing this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go build'
+go build ./...
+
+echo '== go vet'
+go vet ./...
+
+echo '== pcsi-vet (invariant analyzers)'
+go run ./cmd/pcsi-vet ./...
+
+echo '== gofmt'
+badfmt=$(gofmt -l . | grep -v '^\.git' || true)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo '== go test -race'
+go test -race ./...
+
+echo 'CI OK'
