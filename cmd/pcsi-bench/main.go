@@ -10,6 +10,11 @@
 //	pcsi-bench -run E2,E4    # run selected experiments
 //	pcsi-bench -list         # list experiments
 //	pcsi-bench -seed 7       # change the simulation seed
+//	pcsi-bench -trace t.json # also export a Chrome/Perfetto trace
+//
+// With -trace, every selected experiment runs with the span tracer on; the
+// merged trace_event JSON lands in the given file and each simulated run's
+// critical-path report prints after its tables.
 package main
 
 import (
@@ -19,13 +24,15 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		seed    = flag.Int64("seed", 1, "simulation seed (same seed ⇒ identical tables)")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		runList   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed      = flag.Int64("seed", 1, "simulation seed (same seed ⇒ identical tables)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		traceFile = flag.String("trace", "", "export a merged Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 
@@ -59,12 +66,47 @@ func main() {
 	}
 
 	failures := 0
+	var traces []*trace.Data
 	for _, e := range selected {
-		rep := e.Run(*seed)
-		rep.Render(os.Stdout)
+		var rep *experiments.Report
+		if *traceFile != "" {
+			var data *trace.Data
+			var err error
+			rep, data, err = experiments.RunTraced(e.ID, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+				os.Exit(1)
+			}
+			traces = append(traces, data)
+			rep.Render(os.Stdout)
+			for _, run := range data.Runs {
+				if pr := trace.CriticalPath(run); len(pr.Chain) > 0 {
+					pr.Render(os.Stdout)
+				}
+			}
+		} else {
+			rep = e.Run(*seed)
+			rep.Render(os.Stdout)
+		}
 		if !rep.Passed() {
 			failures++
 		}
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+			os.Exit(1)
+		}
+		err = trace.Export(f, trace.Merge(traces...))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (load in Perfetto or chrome://tracing)\n", *traceFile)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "pcsi-bench: %d experiment(s) had failing shape checks\n", failures)

@@ -22,15 +22,27 @@
 //	rm <ns> <path>                             remove entry
 //	invoke <fn> [-i tok,...] [-o tok,...] [body]
 //	stats                                      deployment counters
+//
+// One command runs locally, without a daemon:
+//
+//	trace <experiment> [-seed N] [-o file]     run traced, export Chrome JSON
+//	trace -verify <file>                       validate an exported trace
+//
+// The exported file loads directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing; the command also prints a per-run critical-path report.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/experiments"
 	"repro/internal/pcsinet"
+	"repro/internal/trace"
 )
 
 func usage() {
@@ -47,6 +59,11 @@ func main() {
 	}
 	if len(args) == 0 {
 		usage()
+	}
+	// trace runs the experiment harness in-process; no daemon needed.
+	if args[0] == "trace" {
+		traceCmd(args[1:])
+		return
 	}
 	cl, err := pcsinet.Dial(addr)
 	if err != nil {
@@ -228,4 +245,86 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "pcsictl: %v\n", err)
 	os.Exit(1)
+}
+
+// traceCmd implements `pcsictl trace`: run one experiment with the span
+// tracer on and export the Chrome trace_event JSON, or (with -verify)
+// validate a previously exported file.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("o", "", "write trace JSON to this file (default stdout)")
+	verify := fs.String("verify", "", "validate an exported trace file instead of running")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pcsictl trace <experiment> [-seed N] [-o file]")
+		fmt.Fprintln(os.Stderr, "       pcsictl trace -verify <file>")
+		fs.PrintDefaults()
+	}
+	// Accept the experiment ID before or after the flags.
+	var exp string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		exp, args = args[0], args[1:]
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if exp == "" && fs.NArg() > 0 {
+		exp = fs.Arg(0)
+	}
+
+	if *verify != "" {
+		if err := verifyTrace(*verify); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: ok\n", *verify)
+		return
+	}
+	if exp == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	_, data, err := experiments.RunTraced(exp, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Export(w, data); err != nil {
+		fatal(err)
+	}
+	// The critical-path report goes to stderr so stdout stays pure JSON.
+	for _, run := range data.Runs {
+		rep := trace.CriticalPath(run)
+		if len(rep.Chain) == 0 {
+			continue
+		}
+		rep.Render(os.Stderr)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in Perfetto or chrome://tracing)\n", *out)
+	}
+}
+
+// verifyTrace checks that a file is well-formed Chrome trace JSON with a
+// non-empty traceEvents array (the CI smoke gate).
+func verifyTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("%s: traceEvents is empty", path)
+	}
+	return nil
 }

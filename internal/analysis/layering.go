@@ -11,7 +11,7 @@ var (
 	substratePkgs = stringSet(
 		"internal/sim", "internal/metrics", "internal/simnet", "internal/cluster",
 		"internal/platform", "internal/wire", "internal/cost", "internal/workload",
-		"internal/media",
+		"internal/media", "internal/trace",
 	)
 	statePkgs = stringSet(
 		"internal/object", "internal/capability", "internal/store",
@@ -94,6 +94,14 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 	dep := relPath(pass.Module, path)
 
 	switch {
+	case target == "internal/trace":
+		// The tracer is cross-cutting: any layer may import it, but it may
+		// itself depend only on the sim engine (and the stdlib) so that
+		// instrumenting a package never drags in extra layers.
+		if dep != "internal/sim" {
+			pass.Report(imp.Pos(), "internal/trace may not import %s: the tracer depends only on internal/sim and the stdlib so any layer can be instrumented (DESIGN.md §3)", dep)
+			return
+		}
 	case substratePkgs[target]:
 		if !substratePkgs[dep] {
 			pass.Report(imp.Pos(), "substrate package %s may not import %s: substrates depend only on the stdlib and other substrates (DESIGN.md §3)", target, dep)

@@ -1,5 +1,12 @@
-// Package faas is a miniature stand-in for the compute layer.
+// Package faas is a miniature stand-in for the compute layer. Importing the
+// cross-cutting tracer is legal from any layer, so no diagnostic here.
 package faas
 
+import "fixture/internal/trace"
+
 // Invoke is a placeholder compute entry point.
-func Invoke(name string) string { return name }
+func Invoke(name string) string {
+	var s trace.Span
+	s.Touch()
+	return name
+}

@@ -1,0 +1,8 @@
+// Package metrics is a miniature stand-in for the measurement substrate.
+package metrics
+
+// Counter is a placeholder metric.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }

@@ -1,0 +1,17 @@
+// Package trace violates its own layering rule: the tracer may import only
+// internal/sim and the stdlib, never another substrate like metrics.
+package trace
+
+import (
+	"fixture/internal/metrics" // want: layering
+	"fixture/internal/sim"
+)
+
+// Span is a placeholder span carrying its environment.
+type Span struct {
+	Env *sim.Env
+	c   metrics.Counter
+}
+
+// Touch keeps the imports used.
+func (s *Span) Touch() { s.c.Inc() }

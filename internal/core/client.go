@@ -11,6 +11,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Client is a PCSI session bound to an origin node. All data operations
@@ -60,7 +61,24 @@ func WithMutability(m object.Mutability) CreateOpt {
 
 // check validates the reference's rights; this is the single, local
 // capability check that replaces REST's per-request re-authentication.
+// Traced runs record each check as an instant event on the capability
+// track — the check itself costs zero virtual time, which is the point.
 func (cl *Client) check(r Ref, need capability.Rights) error {
+	err := cl.checkErr(r, need)
+	if t := trace.Of(cl.c.env); t != nil {
+		attrs := []trace.Attr{
+			trace.Int("obj", int64(r.cap.Object())),
+			trace.Str("need", need.String()),
+		}
+		if err != nil {
+			attrs = append(attrs, trace.Str("denied", err.Error()))
+		}
+		t.Instant("capability", "cap", "check", attrs...)
+	}
+	return err
+}
+
+func (cl *Client) checkErr(r Ref, need capability.Rights) error {
 	if !r.Valid() {
 		return ErrInvalidRef
 	}
@@ -75,12 +93,22 @@ func (cl *Client) observe(p *sim.Proc, start sim.Time) {
 	cl.c.DataLat.Observe(p.Now().Sub(start))
 }
 
+// opSpan opens a span for one client operation: cat "core.data" for payload
+// ops, "core.meta" for metadata-only ops. The span nests under whatever the
+// calling process has open (a function's exec span, a task span, ...).
+func (cl *Client) opSpan(p *sim.Proc, cat, name string, obj object.ID) *trace.Span {
+	return trace.Of(cl.c.env).Start(p, cat, name,
+		trace.Int("obj", int64(obj)), trace.Int("origin", int64(cl.node)))
+}
+
 // Create makes a new object and returns a full-rights reference to it.
 func (cl *Client) Create(p *sim.Proc, kind object.Kind, opts ...CreateOpt) (Ref, error) {
 	params := createParams{lvl: consistency.Linearizable, mut: object.Mutable}
 	for _, o := range opts {
 		o(&params)
 	}
+	sp := trace.Of(cl.c.env).Start(p, "core.data", "create", trace.Int("origin", int64(cl.node)))
+	defer sp.Close(p)
 	start := p.Now()
 	if params.ephemeral {
 		id := cl.c.newEphem(cl.node, kind)
@@ -114,6 +142,9 @@ func (cl *Client) Put(p *sim.Proc, r Ref, data []byte) error {
 	if err := cl.check(r, capability.Write); err != nil {
 		return err
 	}
+	sp := cl.opSpan(p, "core.data", "put", r.cap.Object())
+	sp.Annotate(trace.Int("bytes", int64(len(data))))
+	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
 		// Whole-object writes migrate the single copy to the writer: data
 		// lives where it was produced, so a co-scheduled consumer reads it
@@ -146,6 +177,8 @@ func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
 	if err := cl.check(r, capability.Read); err != nil {
 		return nil, err
 	}
+	sp := cl.opSpan(p, "core.data", "get", r.cap.Object())
+	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
 		var data []byte
 		err := cl.ephemView(p, e, int(e.obj.Size()), func(o *object.Object) error {
@@ -157,6 +190,7 @@ func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
 	start := p.Now()
 	if e, ok := cl.c.cacheFor(cl.node)[r.cap.Object()]; ok && e.stable {
 		cl.c.CacheHits++
+		sp.Annotate(trace.Str("cache", "hit"))
 		p.Sleep(media.DRAM.ReadCost(int64(len(e.data))))
 		cl.c.Meter.Charge("read", cost.PCSIBook.ReadCost(int64(len(e.data)), false))
 		cl.observe(p, start)
@@ -186,6 +220,8 @@ func (cl *Client) GetAt(p *sim.Proc, r Ref, lvl consistency.Level) ([]byte, erro
 	if err := cl.check(r, capability.Read); err != nil {
 		return nil, err
 	}
+	sp := cl.opSpan(p, "core.data", "get_at", r.cap.Object())
+	defer sp.Close(p)
 	start := p.Now()
 	data, err := cl.c.grp.Read(p, cl.node, r.cap.Object(), lvl)
 	cl.c.BytesMoved += int64(len(data))
@@ -198,6 +234,9 @@ func (cl *Client) Append(p *sim.Proc, r Ref, data []byte) error {
 	if err := cl.check(r, capability.Append); err != nil {
 		return err
 	}
+	sp := cl.opSpan(p, "core.data", "append", r.cap.Object())
+	sp.Annotate(trace.Int("bytes", int64(len(data))))
+	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
 		return cl.ephemMutate(p, e, len(data), func(o *object.Object) error {
 			return o.Append(data)
@@ -217,6 +256,9 @@ func (cl *Client) WriteAt(p *sim.Proc, r Ref, data []byte, off int64) error {
 	if err := cl.check(r, capability.Write); err != nil {
 		return err
 	}
+	sp := cl.opSpan(p, "core.data", "write_at", r.cap.Object())
+	sp.Annotate(trace.Int("bytes", int64(len(data))))
+	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
 		return cl.ephemMutate(p, e, len(data), func(o *object.Object) error {
 			_, werr := o.WriteAt(data, off)
@@ -238,6 +280,8 @@ func (cl *Client) ReadAt(p *sim.Proc, r Ref, off int64, n int) ([]byte, error) {
 	if err := cl.check(r, capability.Read); err != nil {
 		return nil, err
 	}
+	sp := cl.opSpan(p, "core.data", "read_at", r.cap.Object())
+	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
 		buf := make([]byte, n)
 		var got int
@@ -267,6 +311,9 @@ func (cl *Client) Freeze(p *sim.Proc, r Ref, m object.Mutability) error {
 	if err := cl.check(r, capability.SetMut); err != nil {
 		return err
 	}
+	sp := cl.opSpan(p, "core.meta", "freeze", r.cap.Object())
+	sp.Annotate(trace.Str("to", m.String()))
+	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
 		return cl.ephemMutate(p, e, 0, func(o *object.Object) error {
 			return o.SetMutability(m)
@@ -309,6 +356,8 @@ func (cl *Client) Mutability(p *sim.Proc, r Ref) (object.Mutability, error) {
 	if err := cl.check(r, capability.Read); err != nil {
 		return 0, err
 	}
+	sp := cl.opSpan(p, "core.meta", "mutability", r.cap.Object())
+	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
 		var m object.Mutability
 		err := cl.ephemView(p, e, 0, func(o *object.Object) error {
@@ -330,6 +379,8 @@ func (cl *Client) Push(p *sim.Proc, r Ref, msg []byte) error {
 	if err := cl.check(r, capability.Append); err != nil {
 		return err
 	}
+	sp := cl.opSpan(p, "core.data", "push", r.cap.Object())
+	defer sp.Close(p)
 	cl.c.BytesMoved += int64(len(msg))
 	return cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, len(msg), func(o *object.Object) error {
 		return o.Push(msg)
@@ -342,6 +393,8 @@ func (cl *Client) Pop(p *sim.Proc, r Ref) ([]byte, error) {
 	if err := cl.check(r, capability.Read|capability.Write); err != nil {
 		return nil, err
 	}
+	sp := cl.opSpan(p, "core.data", "pop", r.cap.Object())
+	defer sp.Close(p)
 	for {
 		var msg []byte
 		err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, 0, func(o *object.Object) error {
@@ -401,6 +454,8 @@ func (cl *Client) Stat(p *sim.Proc, r Ref) (StatInfo, error) {
 	if err := cl.check(r, capability.Read); err != nil {
 		return info, err
 	}
+	sp := cl.opSpan(p, "core.meta", "stat", r.cap.Object())
+	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
 		err := cl.ephemView(p, e, 0, func(o *object.Object) error {
 			info = StatInfo{Kind: o.Kind(), Size: o.Size(), Version: o.Version(), Mutability: o.Mutability()}

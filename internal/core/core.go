@@ -37,6 +37,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // PlacementPolicy selects the scheduler used for function placement.
@@ -124,6 +125,10 @@ type Cloud struct {
 	ephem      map[object.ID]*ephemObj
 	ephemDrops object.ID
 
+	// reg is the unified metrics directory; the exported fields below
+	// alias its entries for terse call sites.
+	reg *trace.Registry
+
 	// Meters and counters shared by experiments.
 	Meter   *cost.Meter
 	DataLat *metrics.Histogram
@@ -151,6 +156,7 @@ func New(opts Options) *Cloud {
 		opts.GPUMemMB = 16384
 	}
 	env := sim.NewEnv(opts.Seed)
+	trace.Of(env).SetLabel("pcsi/" + opts.Policy.String())
 	net := simnet.New(env, opts.NetProfile)
 	cl := cluster.New(env, net, opts.ClusterCfg)
 
@@ -173,9 +179,11 @@ func New(opts Options) *Cloud {
 		nsRoots: make(map[object.ID]struct{}),
 		devices: make(map[simnet.NodeID]*platform.Device),
 		caches:  make(map[simnet.NodeID]map[object.ID]*cacheEntry),
+		reg:     trace.NewRegistry(),
 		Meter:   cost.NewMeter("pcsi"),
 		DataLat: metrics.NewHistogram("pcsi_data_ops"),
 	}
+	c.reg.Register(c.DataLat)
 
 	var plc faas.Placer
 	switch opts.Policy {
@@ -188,10 +196,11 @@ func New(opts Options) *Cloud {
 	default:
 		plc = scheduler.GPUAware{C: cl, Inner: scheduler.Colocate{C: cl}}
 	}
-	c.rt = faas.NewRuntime(cl, plc, faas.Config{
+	c.rt = faas.NewRuntime(cl, scheduler.Traced{Env: env, Inner: plc}, faas.Config{
 		IdleTimeout:  opts.IdleTimeout,
 		CodeStore:    grp.Primary0Node(),
 		EvictionProb: opts.EvictionProb,
+		Metrics:      c.reg,
 	})
 
 	c.col = gc.New(grp.Primary0Store())
@@ -234,6 +243,10 @@ func (c *Cloud) Group() *consistency.Group { return c.grp }
 
 // Caps returns the capability registry (tests/experiments).
 func (c *Cloud) Caps() *capability.Registry { return c.caps }
+
+// Metrics returns the unified registry holding every metric of this
+// deployment — the Cloud's own histograms and the runtime's counters.
+func (c *Cloud) Metrics() *trace.Registry { return c.reg }
 
 // Device returns the GPU device memory attached to a node, or nil.
 func (c *Cloud) Device(n simnet.NodeID) *platform.Device { return c.devices[n] }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/taskgraph"
+	"repro/internal/trace"
 )
 
 // FnCtx is the context a PCSI function body receives: explicit data-layer
@@ -74,6 +75,8 @@ func (cl *Client) RegisterFunction(p *sim.Proc, cfg FnConfig) (Ref, error) {
 	if cfg.CodeSize <= 0 {
 		cfg.CodeSize = 1 << 20
 	}
+	rsp := trace.Of(c.env).Start(p, "core.fn", "register", trace.Str("fn", cfg.Name))
+	defer rsp.Close(p)
 	codeRef, err := cl.Create(p, object.Regular)
 	if err != nil {
 		return Ref{}, err
@@ -152,6 +155,8 @@ func (cl *Client) Invoke(p *sim.Proc, fnRef Ref, args InvokeArgs) (*faas.Instanc
 	if !ok {
 		return nil, ErrNoSuchFn
 	}
+	sp := trace.Of(cl.c.env).Start(p, "core.fn", "invoke", trace.Str("fn", name))
+	defer sp.Close(p)
 	// The invocation request travels to the runtime's control plane.
 	cl.c.net.Send(p, cl.node, cl.c.grp.Primary0Node(), 128+len(args.Body))
 	hints := args.Hints

@@ -19,10 +19,12 @@ import (
 	"repro/internal/restbase"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Table is a DynamoDB-like key-value table.
 type Table struct {
+	env  *sim.Env
 	gw   *restbase.Gateway
 	grp  *consistency.Group
 	keys map[string]object.ID
@@ -42,11 +44,16 @@ func New(net *simnet.Network, nReplicas int, media media.Profile) *Table {
 	cfg.RoutingHops = 2
 	cfg.PerHopProcess = 800 * time.Microsecond
 	cfg.Book = cost.DynamoBook
-	return &Table{
+	t := &Table{
+		env:  net.Env(),
 		gw:   restbase.NewGateway(net, grp, cfg),
 		grp:  grp,
 		keys: make(map[string]object.ID),
 	}
+	// NewGateway labelled the run "rest"; a managed table is its own
+	// baseline, so relabel (last set wins).
+	trace.Of(t.env).SetLabel("dynamo")
+	return t
 }
 
 // Gateway exposes the REST front door (metrics).
@@ -54,6 +61,9 @@ func (t *Table) Gateway() *restbase.Gateway { return t.gw }
 
 // PutItem stores value under key.
 func (t *Table) PutItem(p *sim.Proc, client simnet.NodeID, creds, key string, value []byte) error {
+	sp := trace.Of(t.env).Start(p, "dynamo", "put_item",
+		trace.Str("key", key), trace.Int("bytes", int64(len(value))))
+	defer sp.Close(p)
 	id, ok := t.keys[key]
 	if !ok {
 		var err error
@@ -68,6 +78,9 @@ func (t *Table) PutItem(p *sim.Proc, client simnet.NodeID, creds, key string, va
 
 // GetItem fetches key's value; strong selects a strongly consistent read.
 func (t *Table) GetItem(p *sim.Proc, client simnet.NodeID, creds, key string, strong bool) ([]byte, error) {
+	sp := trace.Of(t.env).Start(p, "dynamo", "get_item",
+		trace.Str("key", key), trace.Str("consistency", consistencyName(strong)))
+	defer sp.Close(p)
 	id, ok := t.keys[key]
 	if !ok {
 		return nil, consistency.ErrNotFound
@@ -77,6 +90,13 @@ func (t *Table) GetItem(p *sim.Proc, client simnet.NodeID, creds, key string, st
 		lvl = consistency.Linearizable
 	}
 	return t.gw.Get(p, client, creds, id, lvl)
+}
+
+func consistencyName(strong bool) string {
+	if strong {
+		return "strong"
+	}
+	return "eventual"
 }
 
 // ReadCostPerMillion returns the priced cost of a size-byte read at the

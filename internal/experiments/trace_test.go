@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRunTracedDeterministic is the trace-determinism invariant (DESIGN.md
+// §5): the same experiment at the same seed exports byte-identical JSON.
+func TestRunTracedDeterministic(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		_, d, err := RunTraced("E4", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Export(&bufs[i], d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("two traced E4 runs at seed 42 exported different bytes")
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(bufs[0].Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("traced E4 exported no traceEvents")
+	}
+}
+
+// TestRunTracedCoverage is the attribution acceptance bar: each simulated
+// PCSI run in the E4 trace must attribute at least 95% of its end-to-end
+// virtual time to named spans on the critical path.
+func TestRunTracedCoverage(t *testing.T) {
+	_, d, err := RunTraced("E4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, run := range d.Runs {
+		if !strings.HasPrefix(run.Label, "pcsi/") {
+			continue
+		}
+		checked++
+		rep := trace.CriticalPath(run)
+		if cov := rep.Coverage(); cov < 0.95 {
+			var buf bytes.Buffer
+			rep.Render(&buf)
+			t.Errorf("run %s coverage = %.3f, want >= 0.95\n%s", run.Label, cov, buf.String())
+		}
+	}
+	if checked == 0 {
+		t.Fatal("E4 trace contains no pcsi/* runs")
+	}
+}
+
+// TestRunTracedDoesNotPerturb: tracing must not change what the experiment
+// computes — span IDs come from the observer rand stream, never from the
+// simulation's forked streams.
+func TestRunTracedDoesNotPerturb(t *testing.T) {
+	e, _ := Get("E4")
+	var plain bytes.Buffer
+	e.Run(9).Render(&plain)
+	rep, _, err := RunTraced("E4", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced bytes.Buffer
+	rep.Render(&traced)
+	if plain.String() != traced.String() {
+		t.Fatalf("traced report differs from untraced:\n%s\n--\n%s", plain.String(), traced.String())
+	}
+}
+
+// TestRunTracedHarnessRoot: every trace carries the harness root span, so
+// even wall-clock-only experiments export non-empty traceEvents.
+func TestRunTracedHarnessRoot(t *testing.T) {
+	_, d, err := RunTraced("E2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Runs) == 0 || d.Runs[0].Label != "harness" {
+		t.Fatalf("first run = %+v, want harness", d.Runs)
+	}
+	spans := d.Runs[0].Spans
+	if len(spans) != 1 || spans[0].Name != "experiment:E2" {
+		t.Fatalf("harness spans = %+v, want one experiment:E2 root", spans)
+	}
+	total := 0
+	for _, run := range d.Runs {
+		total += len(run.Spans)
+	}
+	if total < 2 {
+		t.Fatalf("E2 trace has %d spans, want harness root plus simulated ops", total)
+	}
+}
+
+func TestRunTracedUnknown(t *testing.T) {
+	if _, _, err := RunTraced("E999", 1); err == nil {
+		t.Fatal("RunTraced(E999) did not fail")
+	}
+}

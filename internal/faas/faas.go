@@ -19,6 +19,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // MaxBodySize bounds the pass-by-value request body (§3.1: "a small
@@ -156,6 +157,10 @@ type Config struct {
 	// EvictionProb is the per-use probability that a scavenged instance
 	// was preempted and must cold-start again.
 	EvictionProb float64
+	// Metrics optionally shares a metrics registry with the embedding
+	// system; NewRuntime creates a private one when nil. The runtime's
+	// counters and histograms register themselves there.
+	Metrics *trace.Registry
 }
 
 // Runtime hosts functions on a cluster.
@@ -171,8 +176,10 @@ type Runtime struct {
 	// fnInvokes counts per-function invocations for the variant
 	// optimizer's promotion rule.
 	fnInvokes map[string]int64
+	reg       *trace.Registry
 
-	// Metrics.
+	// Metrics. The fields alias entries in Metrics() — the registry owns
+	// the canonical directory; the fields keep call sites terse.
 	ColdStarts  *metrics.Counter
 	WarmStarts  *metrics.Counter
 	Invocations *metrics.Counter
@@ -194,6 +201,10 @@ type Runtime struct {
 
 // NewRuntime returns a runtime placing instances with plc.
 func NewRuntime(cl *cluster.Cluster, plc Placer, cfg Config) *Runtime {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = trace.NewRegistry()
+	}
 	rt := &Runtime{
 		env:  cl.Env(),
 		cl:   cl,
@@ -202,6 +213,7 @@ func NewRuntime(cl *cluster.Cluster, plc Placer, cfg Config) *Runtime {
 		cfg:  cfg,
 		fns:  make(map[string]*Function),
 		pool: make(map[string][]*Instance),
+		reg:  reg,
 
 		ColdStarts:  metrics.NewCounter("cold_starts"),
 		WarmStarts:  metrics.NewCounter("warm_starts"),
@@ -210,11 +222,19 @@ func NewRuntime(cl *cluster.Cluster, plc Placer, cfg Config) *Runtime {
 		InvokeLat:   metrics.NewHistogram("invoke_latency"),
 		Meter:       cost.NewMeter("faas"),
 	}
+	reg.Register(rt.ColdStarts)
+	reg.Register(rt.WarmStarts)
+	reg.Register(rt.Invocations)
+	reg.Register(rt.Preemptions)
+	reg.Register(rt.InvokeLat)
 	if cfg.IdleTimeout > 0 {
 		rt.startReaper()
 	}
 	return rt
 }
+
+// Metrics returns the registry holding every runtime metric.
+func (rt *Runtime) Metrics() *trace.Registry { return rt.reg }
 
 // Env returns the runtime's simulation environment.
 func (rt *Runtime) Env() *sim.Env { return rt.env }
@@ -253,11 +273,17 @@ func (rt *Runtime) Invoke(p *sim.Proc, name string, body []byte, hints Placement
 	if len(body) > MaxBodySize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrBodyTooLarge, len(body))
 	}
+	sp := trace.Of(rt.env).Start(p, "faas", "invoke", trace.Str("fn", name))
 	start := p.Now()
+	qsp := trace.Of(rt.env).Start(p, "sched", "acquire")
 	inst, err := rt.acquire(p, fn, hints)
+	qsp.Close(p)
 	if err != nil {
+		sp.Annotate(trace.Str("err", err.Error()))
+		sp.Close(p)
 		return nil, err
 	}
+	sp.Annotate(trace.Int("node", int64(inst.Node.ID)))
 	spec := platform.Specs(inst.Variant().Kind)
 	p.Sleep(spec.InvokeOverhead)
 	rt.seq++
@@ -271,7 +297,9 @@ func (rt *Runtime) Invoke(p *sim.Proc, name string, body []byte, hints Placement
 		Seq:      rt.seq,
 	}
 	busyFrom := p.Now()
+	xsp := trace.Of(rt.env).Start(p, "fn", fn.Name)
 	herr := fn.Handler(inv)
+	xsp.Close(p)
 	took := p.Now().Sub(busyFrom)
 	inst.busy += took
 	rt.BusySeconds += took.Seconds()
@@ -283,6 +311,7 @@ func (rt *Runtime) Invoke(p *sim.Proc, name string, body []byte, hints Placement
 	fp := variantFootprint(inst.Variant())
 	rt.Meter.Charge("compute", cost.ComputeBook.ComputeCost(
 		fp.MilliCPU, fp.MemMB, fp.GPUs, took, inst.Scavenged()))
+	sp.Close(p)
 	return inst, herr
 }
 
@@ -341,9 +370,15 @@ func (rt *Runtime) takeIdle(fn *Function, variant int, hints PlacementHints) *In
 func (rt *Runtime) coldStart(p *sim.Proc, fn *Function, variant int, hints PlacementHints) (*Instance, error) {
 	v := variants(fn)[variant]
 	res := variantFootprint(v)
+	sp := trace.Of(rt.env).Start(p, "faas", "coldstart", trace.Str("fn", fn.Name))
+	defer sp.Close(p)
 	node, scavenge := rt.plc.Place(res, hints)
 	if node == nil {
 		return nil, fmt.Errorf("%w: %q needs %v", ErrNoPlacement, fn.Name, res)
+	}
+	sp.Annotate(trace.Int("node", int64(node.ID)))
+	if scavenge {
+		sp.Annotate(trace.Str("scavenged", "true"))
 	}
 	var alloc *cluster.Alloc
 	var err error

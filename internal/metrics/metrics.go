@@ -37,22 +37,32 @@ func NewHistogram(name string) *Histogram {
 // Name returns the histogram's label.
 func (h *Histogram) Name() string { return h.name }
 
+// zeroBucket is the dedicated bucket for zero-duration observations, which
+// have no logarithm; bucketMid maps it back to exactly 0 so the all-zero
+// histogram reports min=max=mean=p50=0.
+const zeroBucket = math.MinInt32
+
 func bucketOf(d time.Duration) int {
 	if d <= 0 {
-		return math.MinInt32
+		return zeroBucket
 	}
 	return int(math.Floor(math.Log10(float64(d)) * bucketsPerDecade))
 }
 
 func bucketMid(b int) time.Duration {
-	if b == math.MinInt32 {
+	if b == zeroBucket {
 		return 0
 	}
 	return time.Duration(math.Pow(10, (float64(b)+0.5)/bucketsPerDecade))
 }
 
-// Observe records one duration.
+// Observe records one duration. Negative durations cannot occur in virtual
+// time and are clamped to zero, keeping min/max/sum consistent with the
+// zero bucket they land in.
 func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	h.counts[bucketOf(d)]++
 	h.total++
 	h.sum += d
@@ -181,6 +191,9 @@ type Gauge struct {
 
 // NewGauge returns a gauge at level zero.
 func NewGauge(name string) *Gauge { return &Gauge{name: name} }
+
+// Name returns the gauge's label.
+func (g *Gauge) Name() string { return g.name }
 
 // Set records the gauge level at virtual time nowNS.
 func (g *Gauge) Set(nowNS int64, level float64) {

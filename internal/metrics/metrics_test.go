@@ -70,13 +70,13 @@ func TestHistogramQuantileExtremes(t *testing.T) {
 func TestHistogramZeroAndNegativeDurations(t *testing.T) {
 	h := NewHistogram("z")
 	h.Observe(0)
-	h.Observe(-5)
+	h.Observe(-5) // clamped to 0: negative durations cannot occur in virtual time
 	h.Observe(100)
 	if h.Count() != 3 {
 		t.Errorf("Count = %d, want 3", h.Count())
 	}
-	if h.Min() != -5 {
-		t.Errorf("Min = %v, want -5", h.Min())
+	if h.Min() != 0 {
+		t.Errorf("Min = %v, want 0 (zero bucket)", h.Min())
 	}
 }
 
@@ -247,5 +247,55 @@ func TestTableAlignment(t *testing.T) {
 	}
 	if strings.Index(data[0], "1") != strings.Index(data[1], "2") {
 		t.Errorf("columns misaligned:\n%s\n%s", data[0], data[1])
+	}
+}
+
+// TestHistogramAllZero is the regression test for zero-duration handling:
+// bucketOf(0) lands in the dedicated zero bucket and bucketMid maps it back
+// to exactly 0, so a histogram of all-zero durations must report
+// min=max=mean=0 and every percentile 0.
+func TestHistogramAllZero(t *testing.T) {
+	h := NewHistogram("zeros")
+	for i := 0; i < 100; i++ {
+		h.Observe(0)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("min/max/mean = %v/%v/%v, want all 0", h.Min(), h.Max(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if strings.Contains(h.Summary(), "no data") {
+		t.Errorf("Summary() = %q; 100 observations are data", h.Summary())
+	}
+}
+
+// TestHistogramNegativeClamped: negative durations cannot occur in virtual
+// time; Observe clamps them to zero so min/sum stay consistent with the
+// zero bucket.
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram("neg")
+	h.Observe(-time.Second)
+	h.Observe(time.Millisecond)
+	if h.Min() != 0 {
+		t.Errorf("Min = %v, want 0 (negative observation clamped)", h.Min())
+	}
+	if h.Sum() != time.Millisecond {
+		t.Errorf("Sum = %v, want 1ms", h.Sum())
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Errorf("Quantile(0.25) = %v, want 0", got)
+	}
+}
+
+// TestGaugeName pins the Name accessor the metrics registry relies on.
+func TestGaugeName(t *testing.T) {
+	if got := NewGauge("util").Name(); got != "util" {
+		t.Errorf("Name() = %q, want %q", got, "util")
 	}
 }

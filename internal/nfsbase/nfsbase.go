@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Errors returned by the protocol.
@@ -51,6 +52,7 @@ type Server struct {
 
 // NewServer exports a fresh server (in rack 0) on disk media.
 func NewServer(net *simnet.Network, media media.Profile) *Server {
+	trace.Of(net.Env()).SetLabel("nfs")
 	return &Server{
 		node:      net.AddNode(0),
 		st:        store.New(media, 0),
@@ -129,6 +131,9 @@ func (m *Mount) Read(p *sim.Proc, h *Handle, off int64, n int) ([]byte, error) {
 		// The remote failure a local-looking API must surface somehow.
 		return nil, ErrUnreachable
 	}
+	sp := trace.Of(m.srv.net.Env()).Start(p, "nfs", "read",
+		trace.Int("off", off), trace.Int("n", int64(n)))
+	defer sp.Close(p)
 	start := p.Now()
 	p.Sleep(framingOverhead)
 	m.srv.net.Send(p, m.client, m.srv.node, 128)
@@ -159,6 +164,9 @@ func (m *Mount) Write(p *sim.Proc, h *Handle, off int64, data []byte) error {
 	if !m.srv.reachable {
 		return ErrUnreachable
 	}
+	sp := trace.Of(m.srv.net.Env()).Start(p, "nfs", "write",
+		trace.Int("off", off), trace.Int("bytes", int64(len(data))))
+	defer sp.Close(p)
 	start := p.Now()
 	p.Sleep(framingOverhead)
 	m.srv.net.Send(p, m.client, m.srv.node, 128+len(data))

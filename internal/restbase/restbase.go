@@ -28,6 +28,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -100,6 +101,7 @@ func NewGateway(net *simnet.Network, grp *consistency.Group, cfg Config) *Gatewa
 	if cfg.Codec == nil {
 		cfg.Codec = wire.JSONCodec{}
 	}
+	trace.Of(net.Env()).SetLabel("rest")
 	return &Gateway{
 		cfg:      cfg,
 		env:      net.Env(),
@@ -148,27 +150,47 @@ func (g *Gateway) route(p *sim.Proc) {
 }
 
 // request runs the common protocol path around op, charging overheads for
-// a request with reqBody bytes in and respBody bytes out.
+// a request with reqBody bytes in and respBody bytes out. Traced runs
+// decompose the request into the paper's §2.1 cost components: connect,
+// marshal, HTTP processing, auth, routing, then the storage op itself.
 func (g *Gateway) request(p *sim.Proc, client simnet.NodeID, creds string, reqBody, respBody int, op func() error) error {
+	tr := trace.Of(g.env)
+	sp := tr.Start(p, "rest", "request", trace.Int("client", int64(client)))
+	defer sp.Close(p)
 	start := p.Now()
 	g.Requests.Inc()
+	csp := tr.Start(p, "rest.connect", "connect")
 	g.connect(p, client)
+	csp.Close(p)
 	// Request: marshal at client, send, HTTP parse at gateway.
+	msp := tr.Start(p, "rest.marshal", "marshal")
 	p.Sleep(g.cfg.Codec.ModelCost(g.codedBytes(reqBody)))
+	msp.Close(p)
 	g.net.Send(p, client, g.node, 512+reqBody)
+	hsp := tr.Start(p, "rest.http", "http")
 	p.Sleep(HTTPOverhead)
-	if err := g.authenticate(p, creds); err != nil {
+	hsp.Close(p)
+	asp := tr.Start(p, "rest.auth", "auth")
+	err := g.authenticate(p, creds)
+	asp.Close(p)
+	if err != nil {
 		g.net.Send(p, g.node, client, 256)
 		return err
 	}
+	rsp := tr.Start(p, "rest.route", "route")
 	g.route(p)
+	rsp.Close(p)
 	if err := op(); err != nil {
 		g.net.Send(p, g.node, client, 256)
 		return err
 	}
 	// Response: HTTP format, marshal, send.
+	hsp = tr.Start(p, "rest.http", "http")
 	p.Sleep(HTTPOverhead)
+	hsp.Close(p)
+	msp = tr.Start(p, "rest.marshal", "marshal")
 	p.Sleep(g.cfg.Codec.ModelCost(g.codedBytes(respBody)))
+	msp.Close(p)
 	g.net.Send(p, g.node, client, 512+respBody)
 	g.Lat.Observe(p.Now().Sub(start))
 	return nil

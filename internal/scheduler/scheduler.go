@@ -13,6 +13,8 @@ package scheduler
 import (
 	"repro/internal/cluster"
 	"repro/internal/faas"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Naive places instances uniformly at random among feasible nodes.
@@ -87,6 +89,33 @@ func (s Scavenge) Place(res cluster.Resources, hints faas.PlacementHints) (*clus
 		return idle[0], true
 	}
 	return nil, false
+}
+
+// Traced decorates any placer with tracing: every placement decision
+// becomes an instant "sched/place" event on the scheduler track, recording
+// the chosen node (or a miss) and whether capacity was scavenged. A nil
+// tracer (tracing off) makes it a transparent pass-through.
+type Traced struct {
+	Env   *sim.Env
+	Inner faas.Placer
+}
+
+// Place implements faas.Placer.
+func (s Traced) Place(res cluster.Resources, hints faas.PlacementHints) (*cluster.Node, bool) {
+	node, scavenged := s.Inner.Place(res, hints)
+	if t := trace.Of(s.Env); t != nil {
+		attrs := []trace.Attr{trace.Int("cpu_m", res.MilliCPU), trace.Int("gpus", res.GPUs)}
+		if node != nil {
+			attrs = append(attrs, trace.Int("node", int64(node.ID)))
+		} else {
+			attrs = append(attrs, trace.Str("node", "none"))
+		}
+		if scavenged {
+			attrs = append(attrs, trace.Str("scavenged", "true"))
+		}
+		t.Instant("scheduler", "sched", "place", attrs...)
+	}
+	return node, scavenged
 }
 
 // GPUAware wraps another policy, forcing GPU requests onto GPU nodes

@@ -84,6 +84,7 @@ type Env struct {
 	seed    int64
 	forks   uint64
 	rng     *rand.Rand
+	obs     any // observer context (e.g. a tracer); opaque to the engine
 }
 
 // NewEnv returns a fresh environment whose clock reads zero. The seed fixes
@@ -121,6 +122,25 @@ func (e *Env) ForkRand(label string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
+// ObserverRand returns a deterministic random stream derived from the
+// environment seed and the label only. Unlike ForkRand it does not advance
+// the fork counter, so observers (tracers, probes) that may or may not be
+// attached draw from it without perturbing any component's ForkRand stream:
+// a run behaves identically whether or not it is being observed.
+func (e *Env) ObserverRand(label string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00observer\x00%s", e.seed, label)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// SetObserverContext attaches an opaque observer (e.g. a tracer) to the
+// environment. The engine never inspects it; it exists so cross-cutting
+// instrumentation can find its per-environment state without globals.
+func (e *Env) SetObserverContext(v any) { e.obs = v }
+
+// ObserverContext returns the value set by SetObserverContext, or nil.
+func (e *Env) ObserverContext() any { return e.obs }
+
 // schedule enqueues fn to run at time t (>= now).
 func (e *Env) schedule(t Time, fn func()) *event {
 	if t < e.now {
@@ -145,6 +165,7 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	dead   bool
+	span   any // current-span context, maintained by instrumentation
 }
 
 // Env returns the environment the process runs in.
@@ -155,6 +176,13 @@ func (p *Proc) Now() Time { return p.env.now }
 
 // Name returns the process name given at spawn.
 func (p *Proc) Name() string { return p.name }
+
+// SpanCtx returns the process's current-span context (opaque to the engine;
+// the trace package stores its innermost open span here), or nil.
+func (p *Proc) SpanCtx() any { return p.span }
+
+// SetSpanCtx replaces the process's current-span context.
+func (p *Proc) SetSpanCtx(v any) { p.span = v }
 
 // Go spawns a process. The function starts at the current virtual time but
 // is dispatched through the event queue, so a caller inside another process

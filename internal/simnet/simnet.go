@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // NodeID identifies a machine in the cluster.
@@ -118,11 +119,15 @@ func (n *Network) OneWay(a, b NodeID, size int) time.Duration {
 }
 
 // Send delivers a message of size bytes from a to b, sleeping the calling
-// process for the one-way delay.
+// process for the one-way delay. When tracing is active each hop becomes a
+// "net/send" span under the caller's current span.
 func (n *Network) Send(p *sim.Proc, a, b NodeID, size int) {
 	n.Msgs++
 	n.Bytes += int64(size)
+	sp := trace.Of(n.env).Start(p, "net", "send",
+		trace.Int("src", int64(a)), trace.Int("dst", int64(b)), trace.Int("bytes", int64(size)))
 	p.Sleep(n.OneWay(a, b, size))
+	sp.Close(p)
 }
 
 // Call performs a synchronous request/response exchange: request of reqSize

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/faas"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Errors returned by graph construction and execution.
@@ -121,6 +122,10 @@ type Result struct {
 	Err      error
 	// Attempts counts failed tries before the recorded outcome.
 	Attempts int
+	// Span is the task's trace span, or 0 when tracing was off. Dependent
+	// tasks link their spans to it, giving the trace the graph's causal
+	// edges.
+	Span trace.SpanID
 }
 
 // Executor runs graphs on a FaaS runtime.
@@ -134,6 +139,7 @@ type Executor struct {
 	results map[string]*Result
 	done    map[string]*sim.Event
 	graph   *Graph
+	gspan   trace.SpanID // current graph/run span; task spans parent here
 }
 
 // NewExecutor returns an executor over rt.
@@ -151,6 +157,8 @@ func (e *Executor) Execute(p *sim.Proc, g *Graph) (map[string]*Result, error) {
 	e.graph = g
 	e.results = make(map[string]*Result, g.Len())
 	e.done = make(map[string]*sim.Event, g.Len())
+	gsp := trace.Of(env).Start(p, "graph", "run", trace.Int("tasks", int64(g.Len())))
+	e.gspan = gsp.SpanID()
 	for _, name := range g.order {
 		e.done[name] = env.NewEvent()
 	}
@@ -170,14 +178,23 @@ func (e *Executor) Execute(p *sim.Proc, g *Graph) (map[string]*Result, error) {
 			firstErr = r.Err
 		}
 	}
+	gsp.Close(p)
 	return e.results, firstErr
 }
 
-// runTask waits for dependencies, computes hints, and invokes.
+// runTask waits for dependencies, computes hints, and invokes. When traced,
+// the dependency waits become root "task/wait" spans (queueing time, kept
+// out of the graph span's attribution) and the execution becomes a "task"
+// span parented under the graph/run span with causal links to every
+// dependency's span.
 func (e *Executor) runTask(p *sim.Proc, t *Task) {
+	tr := trace.Of(p.Env())
 	hints := faas.PlacementHints{PreferGPUNode: t.PreferGPUNode}
+	var links []trace.SpanID
 	for i, dep := range t.After {
+		wsp := tr.Start(p, "task.wait", "wait:"+dep)
 		v, err := p.Wait(e.done[dep])
+		wsp.Close(p)
 		r, _ := v.(*Result)
 		if err == nil && r != nil && r.Err != nil {
 			err = r.Err
@@ -186,12 +203,16 @@ func (e *Executor) runTask(p *sim.Proc, t *Task) {
 			e.finish(t, &Result{Task: t, Err: fmt.Errorf("taskgraph: dependency %q failed: %w", dep, err)})
 			return
 		}
+		if r != nil && r.Span != 0 {
+			links = append(links, r.Span)
+		}
 		if i == 0 && t.Colocate && r != nil && r.Instance != nil {
 			hints.NearNode = r.Instance.Node.ID
 			hints.HasNear = true
 		}
 	}
 	res := &Result{Task: t, Start: p.Now()}
+	tsp := tr.StartSpan(p, e.gspan, links, "task", t.Name, trace.Str("fn", t.Fn))
 	ctx := e.Ctx
 	if e.MakeCtx != nil {
 		ctx = e.MakeCtx(t)
@@ -205,6 +226,11 @@ func (e *Executor) runTask(p *sim.Proc, t *Task) {
 		}
 		res.Attempts++
 	}
+	if res.Attempts > 0 {
+		tsp.Annotate(trace.Int("retries", int64(res.Attempts)))
+	}
+	tsp.Close(p)
+	res.Span = tsp.SpanID()
 	res.Instance = inst
 	res.End = p.Now()
 	res.Err = err

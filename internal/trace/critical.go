@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// The critical-path analyzer walks one run's span DAG backwards from the
+// span that finishes last, chaining through causal links where present and
+// otherwise through the preceding sibling on the same track, and then
+// attributes the chain's virtual time to component categories by recursive
+// self-time: a span's own category is charged its duration minus the time
+// covered by its children, so e.g. a graph.run span that is mostly task
+// spans charges "task" and "net" rather than "graph".
+
+// Component is the virtual time attributed to one span category on the
+// critical path.
+type Component struct {
+	Cat   string
+	Total time.Duration
+}
+
+// PathReport is the result of CriticalPath over one run.
+type PathReport struct {
+	Label      string
+	Chain      []*Span // critical path, earliest first
+	Start, End sim.Time
+	Spans      int // non-instant spans considered
+	Components []Component
+	// Attributed is the part of [Start,End] covered by chain spans (and
+	// hence decomposed into Components); Unattributed is the gap time.
+	Attributed   time.Duration
+	Unattributed time.Duration
+}
+
+// Coverage returns the fraction of end-to-end virtual time attributed to
+// named spans, in [0,1]; an empty report covers 1 (nothing to attribute).
+func (r *PathReport) Coverage() float64 {
+	total := r.End.Sub(r.Start)
+	if total <= 0 {
+		return 1
+	}
+	return float64(r.Attributed) / float64(total)
+}
+
+// CriticalPath analyzes one run's spans. Instant spans are skipped; an
+// empty run yields an empty report.
+func CriticalPath(run Run) *PathReport {
+	rep := &PathReport{Label: run.Label}
+	var spans []*Span
+	for _, s := range run.Spans {
+		if !s.Instant {
+			spans = append(spans, s)
+		}
+	}
+	rep.Spans = len(spans)
+	if len(spans) == 0 {
+		return rep
+	}
+	byID := make(map[SpanID]*Span, len(spans))
+	children := make(map[SpanID][]*Span)
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Parent != 0 && byID[s.Parent] != nil {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Start != cs[j].Start {
+				return cs[i].Start < cs[j].Start
+			}
+			return cs[i].seq < cs[j].seq
+		})
+	}
+	// The chain ends at the span finishing last (earliest-created on ties,
+	// which prefers the outermost of simultaneously-closing spans), lifted
+	// to its outermost ancestor so the walk stays at one altitude.
+	last := spans[0]
+	for _, s := range spans[1:] {
+		if s.End > last.End || (s.End == last.End && s.seq < last.seq) {
+			last = s
+		}
+	}
+	top := func(s *Span) *Span {
+		for s.Parent != 0 && byID[s.Parent] != nil {
+			s = byID[s.Parent]
+		}
+		return s
+	}
+	cur := top(last)
+	chain := []*Span{cur}
+	for len(chain) <= len(spans) {
+		pred := predecessor(cur, spans, byID)
+		if pred == nil {
+			break
+		}
+		pred = top(pred)
+		if pred == cur {
+			break
+		}
+		chain = append(chain, pred)
+		cur = pred
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	rep.Chain = chain
+	rep.Start, rep.End = chain[0].Start, chain[len(chain)-1].End
+
+	// Attribution: recursive self-time per category over the chain spans,
+	// plus overlap-clamped coverage of the [Start,End] window.
+	acc := make(map[string]time.Duration)
+	for _, s := range chain {
+		attribute(s, children, acc)
+	}
+	cursor := rep.Start
+	var covered time.Duration
+	for _, s := range chain {
+		st, en := s.Start, s.End
+		if st < cursor {
+			st = cursor
+		}
+		if en > st {
+			covered += en.Sub(st)
+			cursor = en
+		}
+	}
+	rep.Attributed = covered
+	rep.Unattributed = rep.End.Sub(rep.Start) - covered
+	for cat, d := range acc {
+		if d > 0 {
+			rep.Components = append(rep.Components, Component{Cat: cat, Total: d})
+		}
+	}
+	sort.Slice(rep.Components, func(i, j int) bool {
+		if rep.Components[i].Total != rep.Components[j].Total {
+			return rep.Components[i].Total > rep.Components[j].Total
+		}
+		return rep.Components[i].Cat < rep.Components[j].Cat
+	})
+	return rep
+}
+
+// predecessor picks the span causally before cur: the latest-finishing
+// linked span if cur (or its latest-ending descendant chain) declares
+// links, otherwise the latest span on the same track and altitude that
+// ends at or before cur starts.
+func predecessor(cur *Span, spans []*Span, byID map[SpanID]*Span) *Span {
+	var best *Span
+	for _, link := range cur.Links {
+		if s := byID[link]; s != nil {
+			if best == nil || s.End > best.End || (s.End == best.End && s.seq < best.seq) {
+				best = s
+			}
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, s := range spans {
+		if s == cur || s.Track != cur.Track || s.Parent != cur.Parent || s.End > cur.Start {
+			continue
+		}
+		if best == nil || s.End > best.End || (s.End == best.End && s.seq > best.seq) {
+			best = s
+		}
+	}
+	return best
+}
+
+// attribute charges s's category its self-time (duration minus children
+// cover, clamped at zero) and recurses into the children.
+func attribute(s *Span, children map[SpanID][]*Span, acc map[string]time.Duration) {
+	var covered time.Duration
+	for _, c := range children[s.ID] {
+		attribute(c, children, acc)
+		covered += c.Duration()
+	}
+	self := s.Duration() - covered
+	if self < 0 {
+		self = 0
+	}
+	acc[s.Cat] += self
+}
+
+// Render writes a human-readable critical-path report.
+func (r *PathReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== critical path: %s ==\n", r.Label)
+	if len(r.Chain) == 0 {
+		fmt.Fprintf(w, "   no timed spans\n")
+		return
+	}
+	total := r.End.Sub(r.Start)
+	fmt.Fprintf(w, "   end-to-end: %v across %d spans (chain length %d)\n",
+		total, r.Spans, len(r.Chain))
+	fmt.Fprintf(w, "   component attribution:\n")
+	for _, c := range r.Components {
+		fmt.Fprintf(w, "     %-12s %12v  %5.1f%%\n", c.Cat, c.Total, pct(c.Total, total))
+	}
+	if r.Unattributed > 0 {
+		fmt.Fprintf(w, "     %-12s %12v  %5.1f%%\n", "(gaps)", r.Unattributed, pct(r.Unattributed, total))
+	}
+	fmt.Fprintf(w, "   coverage: %.1f%% of end-to-end virtual time attributed to named spans\n",
+		100*r.Coverage())
+	n := len(r.Chain)
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	fmt.Fprintf(w, "   chain head:\n")
+	for _, s := range r.Chain[:show] {
+		fmt.Fprintf(w, "     +%-12v %s/%s (%v)\n",
+			s.Start.Sub(r.Start), s.Cat, s.Name, s.Duration())
+	}
+	if n > show {
+		fmt.Fprintf(w, "     ... %d more\n", n-show)
+	}
+}
+
+func pct(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -26,4 +26,8 @@ fi
 echo '== go test -race'
 go test -race ./...
 
+echo '== trace export smoke'
+go run ./cmd/pcsictl trace e1 -o /tmp/t.json 2>/dev/null
+go run ./cmd/pcsictl trace -verify /tmp/t.json
+
 echo 'CI OK'
