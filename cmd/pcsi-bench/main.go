@@ -11,10 +11,13 @@
 //	pcsi-bench -list         # list experiments
 //	pcsi-bench -seed 7       # change the simulation seed
 //	pcsi-bench -trace t.json # also export a Chrome/Perfetto trace
+//	pcsi-bench -faultrate .05 # run with stochastic fault injection + retries
 //
 // With -trace, every selected experiment runs with the span tracer on; the
 // merged trace_event JSON lands in the given file and each simulated run's
-// critical-path report prints after its tables.
+// critical-path report prints after its tables. With -faultrate, a fault
+// session with the default retry policy is active for the whole run; shape
+// checks may legitimately fail under heavy fault rates.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -33,8 +37,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed (same seed ⇒ identical tables)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		traceFile = flag.String("trace", "", "export a merged Chrome trace_event JSON to this file")
+		faultrate = flag.Float64("faultrate", 0, "inject faults at this rate (0 = off, identical to the paper runs)")
 	)
 	flag.Parse()
+
+	if *faultrate > 0 {
+		s := fault.Activate(fault.Spec{
+			Rates: fault.Uniform(*faultrate),
+			Retry: fault.DefaultPolicy(),
+		})
+		defer s.Deactivate()
+	}
 
 	all := experiments.All()
 	if *list {

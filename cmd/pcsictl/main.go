@@ -23,13 +23,18 @@
 //	invoke <fn> [-i tok,...] [-o tok,...] [body]
 //	stats                                      deployment counters
 //
-// One command runs locally, without a daemon:
+// Two commands run locally, without a daemon:
 //
-//	trace <experiment> [-seed N] [-o file]     run traced, export Chrome JSON
+//	trace <experiment> [-seed N] [-o file] [-faultrate R]
+//	                                           run traced, export Chrome JSON
 //	trace -verify <file>                       validate an exported trace
+//	chaos <experiment> [-seeds N] [-seed S] [-faultrate R]
+//	                                           seed-sweep with fault injection;
+//	                                           exits 1 on invariant violation
 //
-// The exported file loads directly in Perfetto (https://ui.perfetto.dev) or
-// chrome://tracing; the command also prints a per-run critical-path report.
+// The exported trace file loads directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing; the trace command also
+// prints a per-run critical-path report.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/pcsinet"
 	"repro/internal/trace"
 )
@@ -60,9 +66,14 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	// trace runs the experiment harness in-process; no daemon needed.
+	// trace and chaos run the experiment harness in-process; no daemon
+	// needed.
 	if args[0] == "trace" {
 		traceCmd(args[1:])
+		return
+	}
+	if args[0] == "chaos" {
+		chaosCmd(args[1:])
 		return
 	}
 	cl, err := pcsinet.Dial(addr)
@@ -255,8 +266,9 @@ func traceCmd(args []string) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	out := fs.String("o", "", "write trace JSON to this file (default stdout)")
 	verify := fs.String("verify", "", "validate an exported trace file instead of running")
+	faultrate := fs.Float64("faultrate", 0, "inject faults at this rate while tracing (0 = off)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pcsictl trace <experiment> [-seed N] [-o file]")
+		fmt.Fprintln(os.Stderr, "usage: pcsictl trace <experiment> [-seed N] [-o file] [-faultrate R]")
 		fmt.Fprintln(os.Stderr, "       pcsictl trace -verify <file>")
 		fs.PrintDefaults()
 	}
@@ -280,6 +292,14 @@ func traceCmd(args []string) {
 	if exp == "" {
 		fs.Usage()
 		os.Exit(2)
+	}
+	if *faultrate > 0 {
+		// Faults and retries show up as instants on the "fault" track.
+		s := fault.Activate(fault.Spec{
+			Rates: fault.Uniform(*faultrate),
+			Retry: fault.DefaultPolicy(),
+		})
+		defer s.Deactivate()
 	}
 	_, data, err := experiments.RunTraced(exp, *seed)
 	if err != nil {
@@ -307,6 +327,49 @@ func traceCmd(args []string) {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "trace written to %s (load in Perfetto or chrome://tracing)\n", *out)
+	}
+}
+
+// chaosCmd implements `pcsictl chaos`: sweep an experiment across seeds
+// under deterministic fault injection, render per-seed outcomes, and exit
+// nonzero if any invariant was violated. Identical invocations produce
+// byte-identical output.
+func chaosCmd(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	seeds := fs.Int("seeds", 5, "number of consecutive seeds to sweep")
+	base := fs.Int64("seed", 1, "first seed of the sweep")
+	faultrate := fs.Float64("faultrate", 0.05, "stochastic fault rate")
+	noretry := fs.Bool("noretry", false, "disable the default retry policy")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pcsictl chaos <experiment> [-seeds N] [-seed S] [-faultrate R] [-noretry]")
+		fs.PrintDefaults()
+	}
+	// Accept the experiment ID before or after the flags.
+	var exp string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		exp, args = args[0], args[1:]
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if exp == "" && fs.NArg() > 0 {
+		exp = fs.Arg(0)
+	}
+	if exp == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	rep, err := experiments.RunChaos(experiments.ChaosConfig{
+		Exp:       exp,
+		Seeds:     *seeds,
+		BaseSeed:  *base,
+		FaultRate: *faultrate,
+		NoRetry:   *noretry,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Render(os.Stdout)
+	if !rep.InvariantsHeld() {
+		os.Exit(1)
 	}
 }
 

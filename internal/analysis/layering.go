@@ -11,8 +11,13 @@ var (
 	substratePkgs = stringSet(
 		"internal/sim", "internal/metrics", "internal/simnet", "internal/cluster",
 		"internal/platform", "internal/wire", "internal/cost", "internal/workload",
-		"internal/media", "internal/trace",
+		"internal/media", "internal/trace", "internal/fault",
 	)
+
+	// faultDeps are the only packages internal/fault may import: the fault
+	// injector manipulates the network and cluster substrates but must stay
+	// importable from every domain layer without dragging anything else in.
+	faultDeps = stringSet("internal/sim", "internal/simnet", "internal/cluster")
 	statePkgs = stringSet(
 		"internal/object", "internal/capability", "internal/store",
 		"internal/namespace", "internal/consistency", "internal/gc",
@@ -100,6 +105,14 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 		// instrumenting a package never drags in extra layers.
 		if dep != "internal/sim" {
 			pass.Report(imp.Pos(), "internal/trace may not import %s: the tracer depends only on internal/sim and the stdlib so any layer can be instrumented (DESIGN.md §3)", dep)
+			return
+		}
+	case target == "internal/fault":
+		// The fault injector is cross-cutting like the tracer: any layer may
+		// import it, but it may itself depend only on the sim engine and the
+		// network/cluster substrates it perturbs.
+		if !faultDeps[dep] {
+			pass.Report(imp.Pos(), "internal/fault may not import %s: the fault injector depends only on internal/sim, internal/simnet, and internal/cluster so any layer can inject faults (DESIGN.md §3)", dep)
 			return
 		}
 	case substratePkgs[target]:

@@ -1,0 +1,18 @@
+// Package fault violates its own layering rule: the fault injector may
+// import only internal/sim, internal/simnet, internal/cluster, and the
+// stdlib — never another substrate like metrics.
+package fault
+
+import (
+	"fixture/internal/metrics" // want: layering
+	"fixture/internal/sim"
+)
+
+// Injector is a placeholder injector carrying its environment.
+type Injector struct {
+	Env *sim.Env
+	c   metrics.Counter
+}
+
+// Touch keeps the imports used.
+func (in *Injector) Touch() { in.c.Inc() }

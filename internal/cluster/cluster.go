@@ -61,6 +61,7 @@ type Node struct {
 	Cap    Resources
 	used   Resources
 	down   bool
+	failEv *sim.Event
 	env    *sim.Env
 	util   *metrics.Gauge // CPU utilisation fraction
 	allocs map[*Alloc]struct{}
@@ -68,6 +69,19 @@ type Node struct {
 
 // Down reports whether the machine has failed.
 func (n *Node) Down() bool { return n.down }
+
+// FailEvent returns an event that fails (with ErrNodeDown) the moment the
+// node goes down, letting in-flight work race completion against machine
+// failure. Recovered nodes hand out a fresh, pending event.
+func (n *Node) FailEvent() *sim.Event {
+	if n.failEv == nil {
+		n.failEv = n.env.NewEvent()
+		if n.down {
+			n.failEv.Fail(fmt.Errorf("%w: node %d", ErrNodeDown, n.ID))
+		}
+	}
+	return n.failEv
+}
 
 // Used returns currently allocated resources.
 func (n *Node) Used() Resources { return n.used }
@@ -288,11 +302,21 @@ func (c *Cluster) RandomFit(res Resources) *Node {
 }
 
 // SetDown marks a machine failed or recovered. Failed machines accept no
-// new allocations; callers (the FaaS runtime) separately destroy the
+// new allocations, and the node's FailEvent fires so in-flight work fails
+// at the fault time; callers (the FaaS runtime) separately destroy the
 // instances that were running there.
 func (c *Cluster) SetDown(id simnet.NodeID, down bool) {
-	if n := c.Node(id); n != nil {
-		n.down = down
+	n := c.Node(id)
+	if n == nil || n.down == down {
+		return
+	}
+	n.down = down
+	if down {
+		if n.failEv != nil {
+			n.failEv.Fail(fmt.Errorf("%w: node %d", ErrNodeDown, id))
+		}
+	} else {
+		n.failEv = nil // next FailEvent() call mints a fresh pending event
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -251,6 +252,55 @@ func TestScavengeMarksAllocation(t *testing.T) {
 	}
 	if b.Scavenged {
 		t.Error("Allocate marked allocation scavenged")
+	}
+}
+
+// Regression: SetDown must fail in-flight waiters at the fault time, not
+// leave them blocked until their own work completes.
+func TestSetDownFailsInFlight(t *testing.T) {
+	env, c := newCluster(t, small())
+	n := c.Nodes()[0]
+	var werr error
+	var at sim.Time
+	env.Go("waiter", func(p *sim.Proc) {
+		_, werr = p.Wait(n.FailEvent())
+		at = p.Now()
+	})
+	env.Go("chaos", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		c.SetDown(n.ID, true)
+	})
+	env.Run()
+	if !errors.Is(werr, ErrNodeDown) {
+		t.Fatalf("waiter error = %v, want ErrNodeDown", werr)
+	}
+	if want := sim.Time(0).Add(10 * time.Millisecond); at != want {
+		t.Errorf("waiter released at %v, want the fault time %v", at, want)
+	}
+}
+
+func TestFailEventLifecycle(t *testing.T) {
+	_, c := newCluster(t, small())
+	n := c.Nodes()[0]
+	if n.FailEvent().Done() {
+		t.Fatal("fresh node's FailEvent already done")
+	}
+	c.SetDown(n.ID, true)
+	if !n.FailEvent().Done() {
+		t.Fatal("FailEvent still pending after SetDown")
+	}
+	// Asking a downed node for its event yields an already-failed one.
+	if _, err := n.FailEvent().Value(); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("downed node's FailEvent error = %v", err)
+	}
+	c.SetDown(n.ID, true) // redundant transition is a no-op
+	c.SetDown(n.ID, false)
+	if n.FailEvent().Done() {
+		t.Error("recovery did not mint a fresh pending event")
+	}
+	c.SetDown(n.ID, false) // redundant recovery is a no-op
+	if n.Down() {
+		t.Error("node still down after recovery")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/object"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 // Failure injection: the §3.3 availability/consistency trade, concretely.
@@ -143,6 +144,93 @@ func TestRecoveredReplicaCatchesUpViaGossip(t *testing.T) {
 		}
 	})
 	env.RunUntil(sim.Time(5 * time.Second))
+}
+
+// A network partition isolates the client with one replica: linearizable
+// writes are rejected (no quorum on the minority side), eventual stays
+// available against the reachable replica, and after the partition heals
+// anti-entropy converges every replica on the partition-era write.
+func TestPartitionLinearizableRejectsEventualServesThenHeals(t *testing.T) {
+	env, net, g, client := testbed(26)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.Apply(p, client, id, Linearizable, 6, setData([]byte("before"))); err != nil {
+			t.Error(err)
+			return
+		}
+		// Partition: {client, replica 0} vs {replicas 1, 2}. Whatever replica
+		// is the object's primary, the client side cannot assemble a quorum.
+		side := map[simnet.NodeID]bool{g.Replicas()[0].Node: true, client: true}
+		net.SetReachableFunc(func(a, b simnet.NodeID) bool { return side[a] == side[b] })
+
+		if err := g.Apply(p, client, id, Linearizable, 3, setData([]byte("lin"))); !errors.Is(err, ErrUnavailable) {
+			t.Errorf("linearizable write under partition: err = %v, want ErrUnavailable", err)
+		}
+		if err := g.Apply(p, client, id, Eventual, 11, setData([]byte("partitioned"))); err != nil {
+			t.Errorf("eventual write under partition: %v", err)
+		}
+		if data, err := g.Read(p, client, id, Eventual); err != nil || string(data) != "partitioned" {
+			t.Errorf("eventual read under partition = %q, %v", data, err)
+		}
+
+		// Heal, force anti-entropy to quiescence, and check convergence.
+		net.SetReachableFunc(nil)
+		g.SyncAll()
+		if div := g.Divergent(); len(div) != 0 {
+			t.Errorf("divergent objects after heal+sync: %v", div)
+		}
+		for i, r := range g.Replicas() {
+			o, err := r.St.Get(id)
+			if err != nil || string(o.Read()) != "partitioned" {
+				t.Errorf("replica %d after heal: %v, %v — partition-era write lost", i, o, err)
+			}
+		}
+	})
+	env.Run()
+}
+
+// While partitioned, gossip between unreachable pairs must be suppressed
+// even though both endpoints are up.
+func TestPartitionSuppressesGossip(t *testing.T) {
+	env, net, g, client := testbed(27)
+	env.Go("c", func(p *sim.Proc) {
+		id, err := g.Create(p, client, object.Regular)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.Apply(p, client, id, Linearizable, 5, setData([]byte("seed"))); err != nil {
+			t.Error(err)
+			return
+		}
+		g.SyncAll() // every replica holds "seed"
+		// Isolate replica 2, mutate on the majority side, then sync: the
+		// isolated replica must keep its old state.
+		iso := g.Replicas()[2].Node
+		net.SetReachableFunc(func(a, b simnet.NodeID) bool { return (a == iso) == (b == iso) })
+		if err := g.Apply(p, client, id, Eventual, 7, setData([]byte("majority"))); err != nil {
+			t.Error(err)
+			return
+		}
+		g.SyncAll()
+		if o, err := g.Replicas()[2].St.Get(id); err != nil || string(o.Read()) == "majority" {
+			t.Errorf("isolated replica received gossip across the partition (state %v, %v)", o, err)
+		}
+		if len(g.Divergent()) == 0 {
+			t.Error("Divergent() misses the partitioned replica's stale state")
+		}
+		// Heal: convergence resumes.
+		net.SetReachableFunc(nil)
+		g.SyncAll()
+		if div := g.Divergent(); len(div) != 0 {
+			t.Errorf("divergent after heal: %v", div)
+		}
+	})
+	env.Run()
 }
 
 func TestDownReplicaExcludedFromGossip(t *testing.T) {

@@ -1,8 +1,10 @@
 package consistency
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/media"
@@ -54,6 +56,10 @@ type Group struct {
 	Conflicts    int64 // concurrent updates detected by vector clocks
 	GossipRounds int64
 	StaleReads   int64 // eventual reads that observed a non-latest stamp
+	// LinStaleReads counts linearizable reads that observed a non-latest
+	// stamp. The protocol (primary serialisation + majority ack) makes this
+	// impossible, so the chaos harness asserts it stays zero.
+	LinStaleReads int64
 }
 
 // NewGroup builds a replicated group with one replica on each given node,
@@ -87,7 +93,7 @@ func (g *Group) primary(id object.ID) *Replica {
 // replica catches up through anti-entropy.
 func (g *Group) SetDown(i int, down bool) { g.replicas[i].down = down }
 
-// liveCount returns the number of reachable replicas.
+// liveCount returns the number of up replicas.
 func (g *Group) liveCount() int {
 	n := 0
 	for _, r := range g.replicas {
@@ -98,12 +104,24 @@ func (g *Group) liveCount() int {
 	return n
 }
 
-// closest returns the nearest *live* replica to client, or nil when every
-// replica is down.
+// liveFrom returns the number of replicas that are up and network-reachable
+// from the given node (quorum as seen from a primary during a partition).
+func (g *Group) liveFrom(from simnet.NodeID) int {
+	n := 0
+	for _, r := range g.replicas {
+		if !r.down && g.net.Reachable(from, r.Node) {
+			n++
+		}
+	}
+	return n
+}
+
+// closest returns the nearest *live, reachable* replica to client, or nil
+// when none is usable.
 func (g *Group) closest(client simnet.NodeID) *Replica {
 	var best *Replica
 	for _, r := range g.replicas {
-		if r.down {
+		if r.down || !g.net.Reachable(client, r.Node) {
 			continue
 		}
 		if best == nil || g.net.RTT(client, r.Node) < g.net.RTT(client, best.Node) {
@@ -140,7 +158,7 @@ func (g *Group) Create(p *sim.Proc, client simnet.NodeID, kind object.Kind) (obj
 	// ID space with replicated objects.
 	id := g.replicas[0].St.AllocID()
 	prim := g.primary(id)
-	if prim.down || g.liveCount() < len(g.replicas)/2+1 {
+	if prim.down || !g.net.Reachable(client, prim.Node) || g.liveFrom(prim.Node) < len(g.replicas)/2+1 {
 		p.Sleep(DownTimeout)
 		return object.NilID, ErrUnavailable
 	}
@@ -173,7 +191,7 @@ func (g *Group) replicateState(p *sim.Proc, prim *Replica, fn func(*Replica)) *s
 	p.Sleep(prim.St.Media().WriteLatency)
 	acks.Put(prim.Index)
 	for _, r := range g.replicas {
-		if r == prim || r.down {
+		if r == prim || r.down || !g.net.Reachable(prim.Node, r.Node) {
 			continue
 		}
 		r := r
@@ -214,7 +232,7 @@ func (g *Group) Apply(p *sim.Proc, client simnet.NodeID, id object.ID, lvl Level
 
 func (g *Group) applyLinearizable(p *sim.Proc, client simnet.NodeID, id object.ID, size int, mutate func(*object.Object) error) error {
 	prim := g.primary(id)
-	if prim.down || g.liveCount() < len(g.replicas)/2+1 {
+	if prim.down || !g.net.Reachable(client, prim.Node) || g.liveFrom(prim.Node) < len(g.replicas)/2+1 {
 		// The primary or a quorum is unreachable: the strong level
 		// sacrifices availability (§3.3's CAP trade, made concrete).
 		p.Sleep(DownTimeout)
@@ -248,7 +266,7 @@ func (g *Group) applyLinearizable(p *sim.Proc, client simnet.NodeID, id object.I
 	p.Sleep(prim.St.Media().WriteCost(int64(size)))
 	acks.Put(prim.Index)
 	for _, r := range g.replicas {
-		if r == prim || r.down {
+		if r == prim || r.down || !g.net.Reachable(prim.Node, r.Node) {
 			continue
 		}
 		r := r
@@ -333,7 +351,7 @@ func (g *Group) View(p *sim.Proc, client simnet.NodeID, id object.ID, lvl Level,
 	switch lvl {
 	case Linearizable:
 		r = g.primary(id)
-		if r.down {
+		if r.down || !g.net.Reachable(client, r.Node) {
 			p.Sleep(DownTimeout)
 			return fmt.Errorf("%w: primary for %v is down", ErrUnavailable, id)
 		}
@@ -355,15 +373,17 @@ func (g *Group) View(p *sim.Proc, client simnet.NodeID, id object.ID, lvl Level,
 		g.net.Send(p, r.Node, client, 64)
 		return fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
-	if lvl == Eventual {
-		// Track staleness against the globally newest stamp.
-		newest := r.meta[id].stamp
-		for _, other := range g.replicas {
-			if m, ok := other.meta[id]; ok && newest.Less(m.stamp) {
-				newest = m.stamp
-			}
+	// Track staleness against the globally newest stamp.
+	newest := r.meta[id].stamp
+	for _, other := range g.replicas {
+		if m, ok := other.meta[id]; ok && newest.Less(m.stamp) {
+			newest = m.stamp
 		}
-		if r.meta[id].stamp.Less(newest) {
+	}
+	if r.meta[id].stamp.Less(newest) {
+		if lvl == Linearizable {
+			g.LinStaleReads++ // protocol violation; chaos invariant trips
+		} else {
 			g.StaleReads++
 		}
 	}
@@ -455,7 +475,7 @@ func (g *Group) StartAntiEntropy(interval time.Duration) {
 			p.Sleep(interval)
 			a := g.replicas[g.env.Rand().Intn(len(g.replicas))]
 			b := g.replicas[g.env.Rand().Intn(len(g.replicas))]
-			if a == b || a.down || b.down {
+			if a == b || a.down || b.down || !g.net.Reachable(a.Node, b.Node) {
 				continue
 			}
 			g.GossipRounds++
@@ -480,13 +500,62 @@ func (g *Group) SyncAll() {
 }
 
 // syncPair merges object states bidirectionally between two replicas.
-// Down replicas cannot participate.
+// Down or partitioned replicas cannot participate.
 func (g *Group) syncPair(a, b *Replica) {
-	if a.down || b.down {
+	if a.down || b.down || !g.net.Reachable(a.Node, b.Node) {
 		return
 	}
 	g.pullInto(a, b)
 	g.pullInto(b, a)
+}
+
+// Divergent returns (sorted) the IDs of objects whose payload, version, or
+// mutability differ across live replicas — the eventual-convergence check
+// run by the chaos harness after heal + SyncAll. Missing objects count as
+// divergence.
+func (g *Group) Divergent() []object.ID {
+	var out []object.ID
+	if len(g.replicas) < 2 {
+		return nil
+	}
+	seen := make(map[object.ID]bool)
+	for _, r := range g.replicas {
+		for _, id := range r.St.IDs() {
+			seen[id] = true
+		}
+	}
+	ids := make([]object.ID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		var ref *object.Object
+		diverged := false
+		for _, r := range g.replicas {
+			if r.down {
+				continue
+			}
+			o, err := r.St.Get(id)
+			if err != nil {
+				diverged = true
+				break
+			}
+			if ref == nil {
+				ref = o
+				continue
+			}
+			if o.Version() != ref.Version() || o.Mutability() != ref.Mutability() ||
+				!bytes.Equal(o.Read(), ref.Read()) {
+				diverged = true
+				break
+			}
+		}
+		if diverged {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // pullInto copies every object state from src that is newer than dst's.

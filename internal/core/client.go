@@ -121,7 +121,15 @@ func (cl *Client) Create(p *sim.Proc, kind object.Kind, opts ...CreateOpt) (Ref,
 		cl.observe(p, start)
 		return Ref{cap: cl.c.caps.Mint(id, capability.All), lvl: params.lvl}, nil
 	}
-	id, err := cl.c.grp.Create(p, cl.node, kind)
+	var id object.ID
+	err := cl.c.do(p, "core.create", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.create"); ferr != nil {
+			return ferr
+		}
+		var cerr error
+		id, cerr = cl.c.grp.Create(p, cl.node, kind)
+		return cerr
+	})
 	if err != nil {
 		return Ref{}, err
 	}
@@ -156,8 +164,13 @@ func (cl *Client) Put(p *sim.Proc, r Ref, data []byte) error {
 	}
 	start := p.Now()
 	cl.c.BytesMoved += int64(len(data))
-	err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
-		return o.SetData(data)
+	err := cl.c.do(p, "core.put", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.put"); ferr != nil {
+			return ferr
+		}
+		return cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
+			return o.SetData(data)
+		})
 	})
 	if err == nil {
 		// Stage the written content locally; it becomes servable if the
@@ -198,10 +211,15 @@ func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
 	}
 	var data []byte
 	var frozen bool
-	err := cl.c.grp.View(p, cl.node, r.cap.Object(), r.lvl, func(o *object.Object) error {
-		data = o.Read()
-		frozen = o.Mutability() == object.Immutable
-		return nil
+	err := cl.c.do(p, "core.get", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.get"); ferr != nil {
+			return ferr
+		}
+		return cl.c.grp.View(p, cl.node, r.cap.Object(), r.lvl, func(o *object.Object) error {
+			data = o.Read()
+			frozen = o.Mutability() == object.Immutable
+			return nil
+		})
 	})
 	if err == nil {
 		// Pull-through: remote reads populate the local cache; the entry
@@ -223,7 +241,15 @@ func (cl *Client) GetAt(p *sim.Proc, r Ref, lvl consistency.Level) ([]byte, erro
 	sp := cl.opSpan(p, "core.data", "get_at", r.cap.Object())
 	defer sp.Close(p)
 	start := p.Now()
-	data, err := cl.c.grp.Read(p, cl.node, r.cap.Object(), lvl)
+	var data []byte
+	err := cl.c.do(p, "core.get_at", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.get_at"); ferr != nil {
+			return ferr
+		}
+		var gerr error
+		data, gerr = cl.c.grp.Read(p, cl.node, r.cap.Object(), lvl)
+		return gerr
+	})
 	cl.c.BytesMoved += int64(len(data))
 	cl.observe(p, start)
 	return data, err
@@ -244,8 +270,13 @@ func (cl *Client) Append(p *sim.Proc, r Ref, data []byte) error {
 	}
 	start := p.Now()
 	cl.c.BytesMoved += int64(len(data))
-	err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
-		return o.Append(data)
+	err := cl.c.do(p, "core.append", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.append"); ferr != nil {
+			return ferr
+		}
+		return cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
+			return o.Append(data)
+		})
 	})
 	cl.observe(p, start)
 	return err
@@ -267,9 +298,14 @@ func (cl *Client) WriteAt(p *sim.Proc, r Ref, data []byte, off int64) error {
 	}
 	start := p.Now()
 	cl.c.BytesMoved += int64(len(data))
-	err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
-		_, werr := o.WriteAt(data, off)
-		return werr
+	err := cl.c.do(p, "core.write_at", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.write_at"); ferr != nil {
+			return ferr
+		}
+		return cl.c.grp.Apply(p, cl.node, r.cap.Object(), r.lvl, len(data), func(o *object.Object) error {
+			_, werr := o.WriteAt(data, off)
+			return werr
+		})
 	})
 	cl.observe(p, start)
 	return err
@@ -295,10 +331,15 @@ func (cl *Client) ReadAt(p *sim.Proc, r Ref, off int64, n int) ([]byte, error) {
 	start := p.Now()
 	buf := make([]byte, n)
 	var got int
-	err := cl.c.grp.View(p, cl.node, r.cap.Object(), r.lvl, func(o *object.Object) error {
-		var rerr error
-		got, rerr = o.ReadAt(buf, off)
-		return rerr
+	err := cl.c.do(p, "core.read_at", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.read_at"); ferr != nil {
+			return ferr
+		}
+		return cl.c.grp.View(p, cl.node, r.cap.Object(), r.lvl, func(o *object.Object) error {
+			var rerr error
+			got, rerr = o.ReadAt(buf, off)
+			return rerr
+		})
 	})
 	cl.c.BytesMoved += int64(got)
 	cl.observe(p, start)
@@ -319,8 +360,13 @@ func (cl *Client) Freeze(p *sim.Proc, r Ref, m object.Mutability) error {
 			return o.SetMutability(m)
 		})
 	}
-	err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, 0, func(o *object.Object) error {
-		return o.SetMutability(m)
+	err := cl.c.do(p, "core.freeze", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.freeze"); ferr != nil {
+			return ferr
+		}
+		return cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, 0, func(o *object.Object) error {
+			return o.SetMutability(m)
+		})
 	})
 	if err == nil && m == object.Immutable {
 		// The staged local copy may be stale (another node could have
@@ -382,8 +428,13 @@ func (cl *Client) Push(p *sim.Proc, r Ref, msg []byte) error {
 	sp := cl.opSpan(p, "core.data", "push", r.cap.Object())
 	defer sp.Close(p)
 	cl.c.BytesMoved += int64(len(msg))
-	return cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, len(msg), func(o *object.Object) error {
-		return o.Push(msg)
+	return cl.c.do(p, "core.push", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.push"); ferr != nil {
+			return ferr
+		}
+		return cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, len(msg), func(o *object.Object) error {
+			return o.Push(msg)
+		})
 	})
 }
 
@@ -395,6 +446,9 @@ func (cl *Client) Pop(p *sim.Proc, r Ref) ([]byte, error) {
 	}
 	sp := cl.opSpan(p, "core.data", "pop", r.cap.Object())
 	defer sp.Close(p)
+	if err := cl.c.inj.OpFault(p, "core.pop"); err != nil {
+		return nil, err
+	}
 	for {
 		var msg []byte
 		err := cl.c.grp.Apply(p, cl.node, r.cap.Object(), consistency.Linearizable, 0, func(o *object.Object) error {
@@ -463,9 +517,14 @@ func (cl *Client) Stat(p *sim.Proc, r Ref) (StatInfo, error) {
 		})
 		return info, err
 	}
-	err := cl.c.grp.View(p, cl.node, r.cap.Object(), consistency.Linearizable, func(o *object.Object) error {
-		info = StatInfo{Kind: o.Kind(), Size: o.Size(), Version: o.Version(), Mutability: o.Mutability()}
-		return nil
+	err := cl.c.do(p, "core.stat", func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.stat"); ferr != nil {
+			return ferr
+		}
+		return cl.c.grp.View(p, cl.node, r.cap.Object(), consistency.Linearizable, func(o *object.Object) error {
+			info = StatInfo{Kind: o.Kind(), Size: o.Size(), Version: o.Version(), Mutability: o.Mutability()}
+			return nil
+		})
 	})
 	return info, err
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/cost"
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/gc"
 	"repro/internal/media"
 	"repro/internal/metrics"
@@ -83,6 +84,11 @@ type Options struct {
 	AntiEntropyInterval sim.Duration
 	// GPUMemMB sizes each GPU node's device memory.
 	GPUMemMB int64
+	// Retry, when set, wraps data/meta/fn operations in the policy (bound
+	// to this cloud's env). Nil keeps the historical fail-immediately
+	// behavior; during an active fault session the session's default
+	// policy is adopted instead.
+	Retry *fault.Policy
 }
 
 // DefaultOptions returns a representative mid-size deployment.
@@ -108,6 +114,9 @@ type Cloud struct {
 	rt   *faas.Runtime
 	caps *capability.Registry
 	col  *gc.Collector
+
+	inj   *fault.Injector // nil outside chaos sessions
+	retry *fault.Policy   // nil = no retries
 
 	fnRefs   map[string]Ref // function name -> code object ref
 	fnByCode map[object.ID]string
@@ -137,6 +146,13 @@ type Cloud struct {
 	BytesMoved int64
 	// CacheHits counts local reads served from a node cache.
 	CacheHits int64
+	// RetryAttempts counts retried operations (chaos diagnostics).
+	RetryAttempts int64
+	// GraphsStarted/GraphsFinished bracket RunGraph calls; the chaos
+	// harness asserts they match (graphs complete or fail cleanly, never
+	// leak mid-flight).
+	GraphsStarted  int64
+	GraphsFinished int64
 }
 
 type cacheEntry struct {
@@ -202,6 +218,43 @@ func New(opts Options) *Cloud {
 		EvictionProb: opts.EvictionProb,
 		Metrics:      c.reg,
 	})
+
+	// Fault-injection wiring. Only a non-idle active session yields an
+	// injector; otherwise all of this is inert and the run stays
+	// byte-identical to a fault-free one.
+	if inj := fault.Attach(env, net, cl); inj != nil {
+		c.inj = inj
+		c.rt.SetFailFast(true)
+		inj.Observe(func(n fault.Notice) {
+			trace.Of(env).Instant("fault", "fault", n.Kind, trace.Str("detail", n.Detail))
+		})
+		inj.OnNodeDown(func(id simnet.NodeID, down bool) {
+			if down {
+				c.rt.FailNode(id)
+			}
+		})
+		if opts.Retry == nil {
+			opts.Retry = fault.ActiveSession().Spec().Retry
+		}
+	}
+	if opts.Retry != nil {
+		c.retry = opts.Retry.Bind(env)
+		if c.retry.Retryable == nil {
+			c.retry.Retryable = DefaultRetryable
+		}
+		if c.retry.OnAttempt == nil {
+			c.retry.OnAttempt = func(op string, attempt int, err error, delay sim.Duration) {
+				c.RetryAttempts++
+				c.inj.Note("retry.attempt")
+				trace.Of(env).Instant("fault", "retry", op,
+					trace.Int("attempt", int64(attempt)),
+					trace.Str("err", err.Error()), trace.Str("delay", delay.String()))
+			}
+		}
+	}
+	if s := fault.ActiveSession(); s != nil {
+		s.AddCheck("pcsi/"+opts.Policy.String(), c.chaosInvariants)
+	}
 
 	c.col = gc.New(grp.Primary0Store())
 	c.col.AddRoots(c.caps)
@@ -322,3 +375,47 @@ func (c *Cloud) Collect() int {
 
 // Collector exposes GC statistics.
 func (c *Cloud) Collector() *gc.Collector { return c.col }
+
+// do runs op through the cloud's retry policy; with no policy bound it
+// calls fn exactly once with zero overhead.
+func (c *Cloud) do(p *sim.Proc, op string, fn func() error) error {
+	return c.retry.Do(p, op, fn)
+}
+
+// DefaultRetryable extends the substrate classifier with PCSI-level
+// transients: consistency unavailability and placement pressure are worth
+// retrying; not-found, invalid references, and capability denials are not.
+func DefaultRetryable(err error) bool {
+	return fault.Retryable(err) ||
+		errors.Is(err, consistency.ErrUnavailable) ||
+		errors.Is(err, faas.ErrNoPlacement)
+}
+
+func (c *Cloud) ephemContains(id object.ID) bool {
+	_, ok := c.ephem[id]
+	return ok
+}
+
+// chaosInvariants audits end-of-run state for the chaos harness. Runs
+// after the harness heals partitions; SyncAll forces quiescent
+// anti-entropy so eventual convergence is checked, not awaited.
+func (c *Cloud) chaosInvariants() []string {
+	var v []string
+	if n := c.grp.LinStaleReads; n > 0 {
+		v = append(v, fmt.Sprintf("%d stale linearizable reads", n))
+	}
+	c.grp.SyncAll()
+	if ids := c.grp.Divergent(); len(ids) > 0 {
+		v = append(v, fmt.Sprintf("%d objects divergent across replicas after heal+sync", len(ids)))
+	}
+	if c.GraphsStarted != c.GraphsFinished {
+		v = append(v, fmt.Sprintf("task graphs leaked: %d started, %d finished", c.GraphsStarted, c.GraphsFinished))
+	}
+	st := c.grp.Primary0Store()
+	for _, id := range c.caps.Roots() {
+		if !st.Contains(id) && !c.ephemContains(id) {
+			v = append(v, fmt.Sprintf("live capability refers to missing object %v", id))
+		}
+	}
+	return v
+}

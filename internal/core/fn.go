@@ -157,13 +157,23 @@ func (cl *Client) Invoke(p *sim.Proc, fnRef Ref, args InvokeArgs) (*faas.Instanc
 	}
 	sp := trace.Of(cl.c.env).Start(p, "core.fn", "invoke", trace.Str("fn", name))
 	defer sp.Close(p)
-	// The invocation request travels to the runtime's control plane.
-	cl.c.net.Send(p, cl.node, cl.c.grp.Primary0Node(), 128+len(args.Body))
 	hints := args.Hints
 	if args.Goal != faas.GoalDefault {
 		hints.Goal = args.Goal
 	}
-	return cl.c.rt.Invoke(p, name, args.Body, hints, &invokeArgs{inputs: args.Inputs, outputs: args.Outputs})
+	var inst *faas.Instance
+	err := cl.c.do(p, "core.invoke:"+name, func() error {
+		if ferr := cl.c.inj.OpFault(p, "core.invoke"); ferr != nil {
+			return ferr
+		}
+		// The invocation request travels to the runtime's control plane
+		// (and again on each retry — the request is re-sent).
+		cl.c.net.Send(p, cl.node, cl.c.grp.Primary0Node(), 128+len(args.Body))
+		var ierr error
+		inst, ierr = cl.c.rt.Invoke(p, name, args.Body, hints, &invokeArgs{inputs: args.Inputs, outputs: args.Outputs})
+		return ierr
+	})
+	return inst, err
 }
 
 // GraphTask is one node of a PCSI task graph.
@@ -210,7 +220,14 @@ func (cl *Client) RunGraph(p *sim.Proc, tasks []GraphTask) (map[string]*taskgrap
 	}
 	ex := taskgraph.NewExecutor(cl.c.rt)
 	ex.MakeCtx = func(t *taskgraph.Task) any { return argsByName[t.Name] }
-	return ex.Execute(p, g)
+	ex.Retry = cl.c.retry
+	// Bracketing counters: Execute returns on both success and clean
+	// failure, so a mismatch means a graph leaked mid-flight (chaos
+	// invariant).
+	cl.c.GraphsStarted++
+	res, err := ex.Execute(p, g)
+	cl.c.GraphsFinished++
+	return res, err
 }
 
 // ConsistencyOf reports the reference's default level (diagnostics).

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/consistency"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/restbase"
@@ -64,6 +65,9 @@ func (t *Table) PutItem(p *sim.Proc, client simnet.NodeID, creds, key string, va
 	sp := trace.Of(t.env).Start(p, "dynamo", "put_item",
 		trace.Str("key", key), trace.Int("bytes", int64(len(value))))
 	defer sp.Close(p)
+	if err := fault.Of(t.env).OpFault(p, "dynamo.put_item"); err != nil {
+		return err
+	}
 	id, ok := t.keys[key]
 	if !ok {
 		var err error
@@ -81,6 +85,9 @@ func (t *Table) GetItem(p *sim.Proc, client simnet.NodeID, creds, key string, st
 	sp := trace.Of(t.env).Start(p, "dynamo", "get_item",
 		trace.Str("key", key), trace.Str("consistency", consistencyName(strong)))
 	defer sp.Close(p)
+	if err := fault.Of(t.env).OpFault(p, "dynamo.get_item"); err != nil {
+		return nil, err
+	}
 	id, ok := t.keys[key]
 	if !ok {
 		return nil, consistency.ErrNotFound

@@ -161,6 +161,12 @@ type Config struct {
 	// system; NewRuntime creates a private one when nil. The runtime's
 	// counters and histograms register themselves there.
 	Metrics *trace.Registry
+	// FailFast races each handler against its node's failure event so an
+	// invocation on a machine that dies mid-call fails at the fault time
+	// instead of running to completion. Off by default: the extra handler
+	// process changes event interleaving, so fault-free runs keep the
+	// historical inline path byte-identical. Chaos runs switch it on.
+	FailFast bool
 }
 
 // Runtime hosts functions on a cluster.
@@ -298,7 +304,12 @@ func (rt *Runtime) Invoke(p *sim.Proc, name string, body []byte, hints Placement
 	}
 	busyFrom := p.Now()
 	xsp := trace.Of(rt.env).Start(p, "fn", fn.Name)
-	herr := fn.Handler(inv)
+	var herr error
+	if rt.cfg.FailFast {
+		herr = rt.runFailFast(p, fn, inv, inst)
+	} else {
+		herr = fn.Handler(inv)
+	}
 	xsp.Close(p)
 	took := p.Now().Sub(busyFrom)
 	inst.busy += took
@@ -313,6 +324,31 @@ func (rt *Runtime) Invoke(p *sim.Proc, name string, body []byte, hints Placement
 		fp.MilliCPU, fp.MemMB, fp.GPUs, took, inst.Scavenged()))
 	sp.Close(p)
 	return inst, herr
+}
+
+// SetFailFast toggles Config.FailFast after construction (chaos wiring).
+func (rt *Runtime) SetFailFast(on bool) { rt.cfg.FailFast = on }
+
+// runFailFast executes the handler in a child process and races it against
+// the hosting node's failure event. On node failure the invocation returns
+// immediately with the node error; the orphaned handler keeps running in
+// the dead instance but its effects are already moot.
+func (rt *Runtime) runFailFast(p *sim.Proc, fn *Function, inv *Invocation, inst *Instance) error {
+	done := rt.env.NewEvent()
+	parent := p.SpanCtx()
+	rt.env.Go("handler:"+fn.Name, func(hp *sim.Proc) {
+		hp.SetSpanCtx(parent)
+		inv.proc = hp
+		done.Complete(fn.Handler(inv))
+	})
+	idx, v, err := p.WaitAny(done, inst.Node.FailEvent())
+	if idx == 1 {
+		return fmt.Errorf("faas: %q interrupted: %w", fn.Name, err)
+	}
+	if v == nil {
+		return nil
+	}
+	return v.(error)
 }
 
 // acquire returns an idle instance or cold-starts one.

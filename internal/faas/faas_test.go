@@ -395,3 +395,67 @@ func TestFailNodeDuringInflightCallDoesNotResurrect(t *testing.T) {
 		}
 	}
 }
+
+// With FailFast on (how chaos runs configure the runtime), an invocation
+// whose node dies mid-call returns at the fault time with the node error
+// instead of running to completion.
+func TestFailFastInterruptsAtFaultTime(t *testing.T) {
+	env, rt := testRuntime(1, Config{})
+	rt.SetFailFast(true) // the post-construction path core's chaos wiring uses
+	if err := rt.Register(wasmFn("slow", sleeper(100*time.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	var ierr error
+	var elapsed time.Duration
+	env.Go("caller", func(p *sim.Proc) {
+		start := p.Now()
+		_, ierr = rt.Invoke(p, "slow", nil, PlacementHints{}, nil)
+		elapsed = p.Now().Sub(start)
+	})
+	env.Go("killer", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond) // mid-handler
+		for _, n := range rt.Cluster().Nodes() {
+			rt.FailNode(n.ID)
+		}
+	})
+	env.Run()
+	if !errors.Is(ierr, cluster.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown at the fault time", ierr)
+	}
+	if elapsed >= 100*time.Millisecond {
+		t.Errorf("invocation took %v: ran to completion despite node failure", elapsed)
+	}
+	// The dead instance must not return to the idle pool.
+	if rt.WarmCount("slow") != 0 {
+		t.Errorf("WarmCount = %d after node failure, want 0", rt.WarmCount("slow"))
+	}
+}
+
+// Without FailFast (the default), the same scenario runs to completion —
+// the historical inline path that keeps fault-free runs byte-identical.
+func TestFailFastOffRunsToCompletion(t *testing.T) {
+	env, rt := testRuntime(1, Config{})
+	if err := rt.Register(wasmFn("slow", sleeper(100*time.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	var ierr error
+	var elapsed time.Duration
+	env.Go("caller", func(p *sim.Proc) {
+		start := p.Now()
+		_, ierr = rt.Invoke(p, "slow", nil, PlacementHints{}, nil)
+		elapsed = p.Now().Sub(start)
+	})
+	env.Go("killer", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		for _, n := range rt.Cluster().Nodes() {
+			rt.FailNode(n.ID)
+		}
+	})
+	env.Run()
+	if ierr != nil {
+		t.Fatalf("err = %v, want completion with FailFast off", ierr)
+	}
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("invocation took %v, want the full handler duration", elapsed)
+	}
+}

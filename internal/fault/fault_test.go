@@ -1,0 +1,293 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func smallCluster(env *sim.Env) (*simnet.Network, *cluster.Cluster) {
+	net := simnet.New(env, simnet.DC2021)
+	cl := cluster.New(env, net, cluster.Config{
+		Racks: 2, NodesPerRack: 2,
+		NodeCap: cluster.Resources{MilliCPU: 8000, MemMB: 16384},
+	})
+	return net, cl
+}
+
+// An idle spec (no rates, no schedule) must attach nothing at all — the
+// zero-perturbation guarantee.
+func TestIdleSpecAttachesNothing(t *testing.T) {
+	s := Activate(Spec{Retry: DefaultPolicy()})
+	defer s.Deactivate()
+	env := sim.NewEnv(1)
+	if in := Of(env); in != nil {
+		t.Fatal("Of returned an injector for an idle spec")
+	}
+	net, cl := smallCluster(env)
+	if in := Attach(env, net, cl); in != nil {
+		t.Fatal("Attach returned an injector for an idle spec")
+	}
+	if len(s.Counters()) != 0 {
+		t.Errorf("idle session has counters: %v", s.Counters())
+	}
+}
+
+// With no session active, Of returns nil and every Injector method is a
+// nil-safe no-op.
+func TestNilInjectorSafe(t *testing.T) {
+	env := sim.NewEnv(1)
+	in := Of(env)
+	if in != nil {
+		t.Fatal("Of returned an injector with no active session")
+	}
+	in.Observe(func(Notice) {})
+	in.OnNodeDown(func(simnet.NodeID, bool) {})
+	in.Note("x")
+	in.healPartition()
+	env.Go("op", func(p *sim.Proc) {
+		if err := in.OpFault(p, "op"); err != nil {
+			t.Errorf("nil OpFault = %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestDoubleActivatePanics(t *testing.T) {
+	s := Activate(Spec{Rates: Uniform(0.1)})
+	defer s.Deactivate()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Activate did not panic")
+		}
+	}()
+	Activate(Spec{})
+}
+
+// Injected faults draw only from observer streams: the env's shared random
+// stream yields the same sequence whether or not injection is active.
+func TestInjectionDoesNotPerturbSharedStream(t *testing.T) {
+	sample := func(inject bool) []float64 {
+		if inject {
+			s := Activate(Spec{Rates: Uniform(0.5)})
+			defer s.Deactivate()
+		}
+		env := sim.NewEnv(42)
+		in := Of(env)
+		if inject && in == nil {
+			t.Fatal("no injector under active session")
+		}
+		env.Go("ops", func(p *sim.Proc) {
+			for i := 0; i < 200; i++ {
+				in.OpFault(p, "probe") //nolint:errcheck
+			}
+		})
+		env.Run()
+		out := make([]float64, 32)
+		for i := range out {
+			out[i] = env.Rand().Float64()
+		}
+		return out
+	}
+	clean, faulty := sample(false), sample(true)
+	if !reflect.DeepEqual(clean, faulty) {
+		t.Fatal("active injection perturbed the env's shared random stream")
+	}
+}
+
+func TestUniformRates(t *testing.T) {
+	if !(Rates{}).zero() || !Uniform(0).zero() {
+		t.Error("zero rates not recognised as idle")
+	}
+	r := Uniform(0.1)
+	if r.OpError != 0.1 || r.LinkLoss != 0.1 || r.OpTimeout != 0.05 || r.LinkDup != 0.05 || r.DelaySpike != 0.05 {
+		t.Errorf("Uniform(0.1) = %+v", r)
+	}
+}
+
+// OpFault injects errors and timeouts at roughly the configured rates, and
+// injected timeouts consume TimeoutDelay of virtual time.
+func TestOpFaultRatesAndTimeoutDelay(t *testing.T) {
+	s := Activate(Spec{
+		Rates:        Rates{OpError: 0.2, OpTimeout: 0.1},
+		TimeoutDelay: 7 * time.Millisecond,
+	})
+	defer s.Deactivate()
+	env := sim.NewEnv(3)
+	in := Of(env)
+	var nerr, ntimeout int
+	env.Go("ops", func(p *sim.Proc) {
+		for i := 0; i < 1000; i++ {
+			before := p.Now()
+			err := in.OpFault(p, "probe")
+			switch {
+			case errors.Is(err, ErrInjectedTimeout):
+				ntimeout++
+				if d := p.Now().Sub(before); d != 7*time.Millisecond {
+					t.Errorf("injected timeout blocked %v, want 7ms", d)
+				}
+			case errors.Is(err, ErrInjected):
+				nerr++
+			case err != nil:
+				t.Errorf("unexpected error %v", err)
+			}
+		}
+	})
+	env.Run()
+	if nerr < 150 || nerr > 250 {
+		t.Errorf("injected errors = %d/1000, want ≈200", nerr)
+	}
+	if ntimeout < 50 || ntimeout > 120 {
+		t.Errorf("injected timeouts = %d/1000, want ≈80", ntimeout)
+	}
+}
+
+// A declarative schedule crashes and recovers nodes at exact virtual times.
+func TestScheduleCrashRecover(t *testing.T) {
+	s := Activate(Spec{Schedule: []Event{
+		// Deliberately out of order: armSchedule must sort by At.
+		{At: 30 * time.Millisecond, Action: RecoverNode, Node: 1},
+		{At: 10 * time.Millisecond, Action: CrashNode, Node: 1},
+	}})
+	defer s.Deactivate()
+	env := sim.NewEnv(5)
+	net, cl := smallCluster(env)
+	if in := Attach(env, net, cl); in == nil {
+		t.Fatal("Attach returned nil for a scheduled spec")
+	}
+	n := cl.Node(1)
+	env.RunUntil(sim.Time(0).Add(5 * time.Millisecond))
+	if n.Down() {
+		t.Error("node down before the scheduled crash")
+	}
+	env.RunUntil(sim.Time(0).Add(15 * time.Millisecond))
+	if !n.Down() {
+		t.Error("node not down after the scheduled crash")
+	}
+	env.RunUntil(sim.Time(0).Add(35 * time.Millisecond))
+	if n.Down() {
+		t.Error("node still down after the scheduled recovery")
+	}
+}
+
+// Rack power events fail and restore every node in the rack.
+func TestScheduleRackPower(t *testing.T) {
+	s := Activate(Spec{Schedule: []Event{
+		{At: 10 * time.Millisecond, Action: RackPower, Rack: 1},
+		{At: 20 * time.Millisecond, Action: RackRestore, Rack: 1},
+	}})
+	defer s.Deactivate()
+	env := sim.NewEnv(5)
+	net, cl := smallCluster(env)
+	Attach(env, net, cl)
+	env.RunUntil(sim.Time(0).Add(15 * time.Millisecond))
+	for _, n := range cl.Nodes() {
+		if want := n.Rack == 1; n.Down() != want {
+			t.Errorf("node %d (rack %d) down = %v at 15ms", n.ID, n.Rack, n.Down())
+		}
+	}
+	env.RunUntil(sim.Time(0).Add(25 * time.Millisecond))
+	for _, n := range cl.Nodes() {
+		if n.Down() {
+			t.Errorf("node %d still down after rack restore", n.ID)
+		}
+	}
+}
+
+// Partitions make cross-group pairs unreachable (unlisted nodes fall into
+// group 0) and heal on schedule; HealAll clears any still-active partition.
+func TestSchedulePartitionHeal(t *testing.T) {
+	s := Activate(Spec{Schedule: []Event{
+		{At: 10 * time.Millisecond, Action: Partition, Groups: [][]simnet.NodeID{{0, 1}, {2}}},
+		{At: 30 * time.Millisecond, Action: Heal},
+		{At: 40 * time.Millisecond, Action: Partition, Groups: [][]simnet.NodeID{{0}, {1, 2, 3}}},
+	}})
+	defer s.Deactivate()
+	env := sim.NewEnv(5)
+	net, cl := smallCluster(env)
+	Attach(env, net, cl)
+	env.RunUntil(sim.Time(0).Add(15 * time.Millisecond))
+	if net.Reachable(0, 2) || net.Reachable(2, 0) {
+		t.Error("partitioned pair 0↔2 still reachable")
+	}
+	if !net.Reachable(0, 1) {
+		t.Error("same-group pair 0↔1 unreachable")
+	}
+	if net.Reachable(3, 2) {
+		t.Error("unlisted node 3 should default to group 0, away from node 2")
+	}
+	env.RunUntil(sim.Time(0).Add(35 * time.Millisecond))
+	if !net.Reachable(0, 2) {
+		t.Error("pair 0↔2 unreachable after heal")
+	}
+	env.RunUntil(sim.Time(0).Add(45 * time.Millisecond))
+	if net.Reachable(0, 3) {
+		t.Error("second partition not applied")
+	}
+	s.HealAll()
+	if !net.Reachable(0, 3) {
+		t.Error("HealAll left the partition active")
+	}
+}
+
+// Node crash/recover notifications reach OnNodeDown hooks and observers.
+func TestObserversAndOnNodeDown(t *testing.T) {
+	s := Activate(Spec{Schedule: []Event{
+		{At: 10 * time.Millisecond, Action: CrashNode, Node: 0},
+		{At: 20 * time.Millisecond, Action: RecoverNode, Node: 0},
+	}})
+	defer s.Deactivate()
+	env := sim.NewEnv(5)
+	net, cl := smallCluster(env)
+	in := Attach(env, net, cl)
+	var kinds []string
+	in.Observe(func(n Notice) { kinds = append(kinds, n.Kind) })
+	var downs, ups int
+	in.OnNodeDown(func(id simnet.NodeID, down bool) {
+		if down {
+			downs++
+		} else {
+			ups++
+		}
+	})
+	env.Run()
+	if downs != 1 || ups != 1 {
+		t.Errorf("OnNodeDown saw %d crashes, %d recoveries; want 1 and 1", downs, ups)
+	}
+	if !reflect.DeepEqual(kinds, []string{"node.crash", "node.recover"}) {
+		t.Errorf("observed kinds = %v", kinds)
+	}
+}
+
+// Two sessions with identical specs over identical seeds produce identical
+// counters — the whole-sweep determinism the chaos harness relies on.
+func TestSessionCountersDeterministic(t *testing.T) {
+	run := func() []Counter {
+		s := Activate(Spec{Rates: Uniform(0.2)})
+		defer s.Deactivate()
+		env := sim.NewEnv(13)
+		net, cl := smallCluster(env)
+		in := Attach(env, net, cl)
+		in.Note("retry.attempt")
+		env.Go("traffic", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				net.Send(p, 0, 2, 512)
+				in.OpFault(p, "probe") //nolint:errcheck
+			}
+		})
+		env.Run()
+		return s.Counters()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no counters recorded at a 20% fault rate")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("counters diverged across identical runs:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Backoff is a capped exponential backoff with deterministic jitter.
+type Backoff struct {
+	Base       sim.Duration // first delay; default 1ms
+	Cap        sim.Duration // ceiling on the nominal delay; 0 = uncapped
+	Factor     float64      // exponential growth factor; default 2
+	JitterFrac float64      // delay varies in [d*(1-J), d*(1+J)]; clamped to [0,1]
+}
+
+// Nominal returns the un-jittered delay before the retry-th retry
+// (0-indexed): min(Base * Factor^retry, Cap). Monotone non-decreasing.
+func (b Backoff) Nominal(retry int) sim.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	f := b.Factor
+	if f < 1 {
+		f = 2
+	}
+	if retry < 0 {
+		retry = 0
+	}
+	d := float64(base) * math.Pow(f, float64(retry))
+	if b.Cap > 0 && d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if d > float64(math.MaxInt64)/2 {
+		d = float64(math.MaxInt64) / 2
+	}
+	return sim.Duration(d)
+}
+
+// Delay returns the jittered delay before the retry-th retry, drawing from
+// rng (an observer stream, so jitter never perturbs the workload).
+func (b Backoff) Delay(retry int, rng *rand.Rand) sim.Duration {
+	d := float64(b.Nominal(retry))
+	j := b.JitterFrac
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 && rng != nil {
+		d *= 1 + j*(2*rng.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return sim.Duration(d)
+}
+
+// Policy is a retry policy: attempts are re-run for retryable errors with
+// backoff until MaxAttempts or the total Deadline is exhausted. A Policy
+// value without an rng is a template; Bind derives a per-env copy whose
+// jitter comes from the env's observer stream.
+type Policy struct {
+	MaxAttempts int          // total tries including the first; default 3
+	Deadline    sim.Duration // budget across all attempts; 0 = unlimited
+	Backoff     Backoff
+	// Retryable classifies errors; nil means the package default.
+	Retryable func(error) bool
+	// OnAttempt runs before each backoff sleep, after attempt `attempt`
+	// (1-based) failed with err and the next try is delay away.
+	OnAttempt func(op string, attempt int, err error, delay sim.Duration)
+
+	rng *rand.Rand
+}
+
+// DefaultPolicy is the stock chaos-mode policy: 4 attempts, 2s budget,
+// 1ms→200ms exponential backoff with ±50% jitter.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		MaxAttempts: 4,
+		Deadline:    2 * time.Second,
+		Backoff: Backoff{
+			Base:       time.Millisecond,
+			Cap:        200 * time.Millisecond,
+			Factor:     2,
+			JitterFrac: 0.5,
+		},
+	}
+}
+
+// Bind returns a copy of p whose jitter draws from env's observer stream.
+func (p *Policy) Bind(env *sim.Env) *Policy {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	q.rng = env.ObserverRand("fault.retry")
+	return &q
+}
+
+// Do runs fn, retrying per the policy. A nil policy runs fn exactly once
+// with zero overhead. The deadline is enforced before sleeping: no backoff
+// sleep may carry the elapsed total past Deadline.
+func (p *Policy) Do(proc *sim.Proc, op string, fn func() error) error {
+	if p == nil {
+		return fn()
+	}
+	max := p.MaxAttempts
+	if max <= 0 {
+		max = 3
+	}
+	retryable := p.Retryable
+	if retryable == nil {
+		retryable = Retryable
+	}
+	start := proc.Now()
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		if attempt >= max {
+			return fmt.Errorf("fault: %s failed after %d attempts: %w", op, attempt, err)
+		}
+		delay := p.Backoff.Delay(attempt-1, p.rng)
+		if p.Deadline > 0 && proc.Now().Sub(start)+delay > p.Deadline {
+			return fmt.Errorf("fault: %s retry deadline %v exhausted after %d attempts: %w",
+				op, p.Deadline, attempt, err)
+		}
+		if p.OnAttempt != nil {
+			p.OnAttempt(op, attempt, err, delay)
+		}
+		proc.Sleep(delay)
+	}
+}
+
+// Retryable is the substrate-level error classifier: injected faults,
+// timeouts, and node/capacity transients are retryable; everything else
+// (not-found, invalid refs, capability denials, handler bugs) is fatal.
+// Embedding layers wrap this to add their own transient errors.
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrInjected),
+		errors.Is(err, ErrInjectedTimeout),
+		errors.Is(err, sim.ErrTimeout),
+		errors.Is(err, cluster.ErrNodeDown),
+		errors.Is(err, cluster.ErrNoCapacity):
+		return true
+	}
+	return false
+}

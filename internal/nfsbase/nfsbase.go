@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
@@ -134,6 +135,9 @@ func (m *Mount) Read(p *sim.Proc, h *Handle, off int64, n int) ([]byte, error) {
 	sp := trace.Of(m.srv.net.Env()).Start(p, "nfs", "read",
 		trace.Int("off", off), trace.Int("n", int64(n)))
 	defer sp.Close(p)
+	if err := fault.Of(m.srv.net.Env()).OpFault(p, "nfs.read"); err != nil {
+		return nil, err
+	}
 	start := p.Now()
 	p.Sleep(framingOverhead)
 	m.srv.net.Send(p, m.client, m.srv.node, 128)
@@ -167,6 +171,9 @@ func (m *Mount) Write(p *sim.Proc, h *Handle, off int64, data []byte) error {
 	sp := trace.Of(m.srv.net.Env()).Start(p, "nfs", "write",
 		trace.Int("off", off), trace.Int("bytes", int64(len(data))))
 	defer sp.Close(p)
+	if err := fault.Of(m.srv.net.Env()).OpFault(p, "nfs.write"); err != nil {
+		return err
+	}
 	start := p.Now()
 	p.Sleep(framingOverhead)
 	m.srv.net.Send(p, m.client, m.srv.node, 128+len(data))

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/consistency"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/sim"
@@ -159,6 +160,10 @@ func (g *Gateway) request(p *sim.Proc, client simnet.NodeID, creds string, reqBo
 	defer sp.Close(p)
 	start := p.Now()
 	g.Requests.Inc()
+	if err := fault.Of(g.env).OpFault(p, "rest.request"); err != nil {
+		sp.Annotate(trace.Str("err", err.Error()))
+		return err
+	}
 	csp := tr.Start(p, "rest.connect", "connect")
 	g.connect(p, client)
 	csp.Close(p)

@@ -51,6 +51,18 @@ const (
 	crossRackFac   = 1.0  // full fabric traversal
 )
 
+// LinkFault describes injected per-message faults, produced by a fault hook
+// (see SetLinkFaultFunc). The zero value means no fault.
+type LinkFault struct {
+	// Drop loses the first copy; the model charges a detect+retransmit
+	// penalty rather than failing the send, so Send stays infallible.
+	Drop bool
+	// Duplicate delivers a spurious extra copy (counted in Msgs/Bytes).
+	Duplicate bool
+	// ExtraDelay adds a delay spike to the delivery.
+	ExtraDelay time.Duration
+}
+
 // Network is a simulated datacenter fabric connecting nodes arranged in
 // racks.
 type Network struct {
@@ -59,9 +71,16 @@ type Network struct {
 	racks   map[NodeID]int
 	next    NodeID
 
+	faultFn func(a, b NodeID, size int) LinkFault
+	reachFn func(a, b NodeID) bool
+
 	// Stats records aggregate traffic.
 	Msgs  int64
 	Bytes int64
+	// Fault stats record injected link faults.
+	Drops  int64
+	Dups   int64
+	Spikes int64
 }
 
 // New returns a network using the given latency profile.
@@ -85,6 +104,24 @@ func (n *Network) AddNode(rack int) NodeID {
 
 // Rack returns the rack a node lives in.
 func (n *Network) Rack(id NodeID) int { return n.racks[id] }
+
+// SetLinkFaultFunc installs a per-message fault hook consulted by Send.
+// A nil hook (the default) injects nothing.
+func (n *Network) SetLinkFaultFunc(f func(a, b NodeID, size int) LinkFault) { n.faultFn = f }
+
+// SetReachableFunc installs a partition predicate. A nil predicate (the
+// default) makes every pair reachable.
+func (n *Network) SetReachableFunc(f func(a, b NodeID) bool) { n.reachFn = f }
+
+// Reachable reports whether a can currently reach b. Protocol layers (e.g.
+// replication groups) consult this to model partitions; it never affects
+// Send itself, which models traffic already committed to the wire.
+func (n *Network) Reachable(a, b NodeID) bool {
+	if n.reachFn == nil {
+		return true
+	}
+	return n.reachFn(a, b)
+}
 
 // Nodes returns the number of registered nodes.
 func (n *Network) Nodes() int { return len(n.racks) }
@@ -126,7 +163,32 @@ func (n *Network) Send(p *sim.Proc, a, b NodeID, size int) {
 	n.Bytes += int64(size)
 	sp := trace.Of(n.env).Start(p, "net", "send",
 		trace.Int("src", int64(a)), trace.Int("dst", int64(b)), trace.Int("bytes", int64(size)))
-	p.Sleep(n.OneWay(a, b, size))
+	d := n.OneWay(a, b, size)
+	if n.faultFn != nil {
+		if lf := n.faultFn(a, b, size); lf != (LinkFault{}) {
+			if lf.Drop {
+				// Lost first copy: detection (one RTO, modelled as the
+				// un-jittered RTT) plus a retransmission taking the same
+				// one-way delay again. No extra jitter draw, so the shared
+				// random stream is untouched.
+				n.Drops++
+				d = 2*d + n.RTT(a, b)
+				sp.Annotate(trace.Str("fault", "drop"))
+			}
+			if lf.Duplicate {
+				n.Dups++
+				n.Msgs++
+				n.Bytes += int64(size)
+				sp.Annotate(trace.Str("fault", "dup"))
+			}
+			if lf.ExtraDelay > 0 {
+				n.Spikes++
+				d += lf.ExtraDelay
+				sp.Annotate(trace.Str("fault", "delay"))
+			}
+		}
+	}
+	p.Sleep(d)
 	sp.Close(p)
 }
 

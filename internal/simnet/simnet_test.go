@@ -153,3 +153,75 @@ func TestNodeRegistration(t *testing.T) {
 		t.Error("AddNode returned duplicate IDs")
 	}
 }
+
+// Link faults injected through SetLinkFaultFunc: drops retransmit (extra
+// latency, counted), duplicates double the traffic accounting, and delay
+// spikes add their extra delay. Without a fault func, nothing changes.
+func TestLinkFaultsShapeDelivery(t *testing.T) {
+	env, net := newNet(t, DC2021)
+	a, b := net.AddNode(0), net.AddNode(1)
+	var fault LinkFault
+	net.SetLinkFaultFunc(func(x, y NodeID, size int) LinkFault { return fault })
+
+	deliver := func(lf LinkFault) time.Duration {
+		fault = lf
+		var took time.Duration
+		env.Go("send", func(p *sim.Proc) {
+			start := p.Now()
+			net.Send(p, a, b, 1024)
+			took = p.Now().Sub(start)
+		})
+		env.RunUntil(env.Now().Add(time.Second))
+		return took
+	}
+
+	clean := deliver(LinkFault{})
+	msgs, bytes := net.Msgs, net.Bytes
+
+	dropped := deliver(LinkFault{Drop: true})
+	if dropped <= clean {
+		t.Errorf("dropped delivery took %v, want more than the clean %v (retransmit)", dropped, clean)
+	}
+	if net.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", net.Drops)
+	}
+
+	duped := deliver(LinkFault{Duplicate: true})
+	if net.Dups != 1 {
+		t.Errorf("Dups = %d, want 1", net.Dups)
+	}
+	if net.Msgs != msgs+3 || net.Bytes != bytes+3*1024 {
+		// two sends since the snapshot, one of them duplicated
+		t.Errorf("traffic after dup = %d msgs / %d bytes, want %d / %d",
+			net.Msgs, net.Bytes, msgs+3, bytes+3*1024)
+	}
+	_ = duped
+
+	// Per-send jitter means baselines differ between calls; the spike still
+	// dominates any jittered base delay.
+	spiked := deliver(LinkFault{ExtraDelay: 5 * time.Millisecond})
+	if spiked < 5*time.Millisecond {
+		t.Errorf("spiked delivery took %v, want ≥ the 5ms spike", spiked)
+	}
+	if net.Spikes != 1 {
+		t.Errorf("Spikes = %d, want 1", net.Spikes)
+	}
+}
+
+// Reachable defaults to true for every pair until a predicate is installed,
+// and reverts when the predicate is removed.
+func TestReachableDefaultsTrue(t *testing.T) {
+	_, net := newNet(t, DC2021)
+	a, b := net.AddNode(0), net.AddNode(1)
+	if !net.Reachable(a, b) {
+		t.Fatal("pair unreachable with no predicate installed")
+	}
+	net.SetReachableFunc(func(x, y NodeID) bool { return false })
+	if net.Reachable(a, b) {
+		t.Fatal("predicate ignored")
+	}
+	net.SetReachableFunc(nil)
+	if !net.Reachable(a, b) {
+		t.Fatal("removing the predicate did not restore reachability")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -135,6 +136,10 @@ type Executor struct {
 	Ctx any
 	// MakeCtx, when set, builds a per-task context (overrides Ctx).
 	MakeCtx func(t *Task) any
+	// Retry, when set, replaces the naive immediate-retry loop with a
+	// bound policy (backoff, deadline, error classification) for every
+	// task invocation. Task.Retries is ignored in that case.
+	Retry *fault.Policy
 
 	results map[string]*Result
 	done    map[string]*sim.Event
@@ -219,12 +224,23 @@ func (e *Executor) runTask(p *sim.Proc, t *Task) {
 	}
 	var inst *faas.Instance
 	var err error
-	for attempt := 0; attempt <= t.Retries; attempt++ {
-		inst, err = e.rt.Invoke(p, t.Fn, t.Body, hints, ctx)
-		if err == nil {
-			break
+	if e.Retry != nil {
+		err = e.Retry.Do(p, "task:"+t.Name, func() error {
+			var ierr error
+			inst, ierr = e.rt.Invoke(p, t.Fn, t.Body, hints, ctx)
+			if ierr != nil {
+				res.Attempts++
+			}
+			return ierr
+		})
+	} else {
+		for attempt := 0; attempt <= t.Retries; attempt++ {
+			inst, err = e.rt.Invoke(p, t.Fn, t.Body, hints, ctx)
+			if err == nil {
+				break
+			}
+			res.Attempts++
 		}
-		res.Attempts++
 	}
 	if res.Attempts > 0 {
 		tsp.Annotate(trace.Int("retries", int64(res.Attempts)))

@@ -39,6 +39,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/object"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -81,6 +82,41 @@ type (
 	Variant = faas.Variant
 	// Goal selects among a function's variants per invocation.
 	Goal = faas.Goal
+	// RetryPolicy retries operations with deadline, capped exponential
+	// backoff, deterministic jitter, and retryable/fatal classification.
+	// Set Options.Retry to thread it through data/meta/fn operations.
+	RetryPolicy = fault.Policy
+	// RetryBackoff parameterises a RetryPolicy's backoff curve.
+	RetryBackoff = fault.Backoff
+	// FaultSpec describes a fault-injection session (rates + schedule)
+	// for chaos testing against a deployment.
+	FaultSpec = fault.Spec
+	// FaultRates are stochastic fault probabilities.
+	FaultRates = fault.Rates
+	// FaultEvent is one entry of a declarative fault schedule.
+	FaultEvent = fault.Event
+	// FaultSession is an active fault-injection session.
+	FaultSession = fault.Session
+)
+
+// ActivateFaults installs a process-global fault-injection session; clouds
+// built while it is active inject per spec. Deactivate it when done.
+func ActivateFaults(spec FaultSpec) *FaultSession { return fault.Activate(spec) }
+
+// DefaultRetryPolicy is the stock chaos-mode retry policy.
+func DefaultRetryPolicy() *RetryPolicy { return fault.DefaultPolicy() }
+
+// UniformFaultRates derives a conventional rate mix from one chaos knob.
+func UniformFaultRates(rate float64) FaultRates { return fault.Uniform(rate) }
+
+// Fault schedule actions.
+const (
+	FaultCrashNode   = fault.CrashNode
+	FaultRecoverNode = fault.RecoverNode
+	FaultRackPower   = fault.RackPower
+	FaultRackRestore = fault.RackRestore
+	FaultPartition   = fault.Partition
+	FaultHeal        = fault.Heal
 )
 
 // Optimisation goals for variant selection.

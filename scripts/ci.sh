@@ -30,4 +30,7 @@ echo '== trace export smoke'
 go run ./cmd/pcsictl trace e1 -o /tmp/t.json 2>/dev/null
 go run ./cmd/pcsictl trace -verify /tmp/t.json
 
+echo '== chaos smoke (seed sweep with fault injection; exits 1 on invariant violation)'
+go run ./cmd/pcsictl chaos E4 -seeds 5
+
 echo 'CI OK'
