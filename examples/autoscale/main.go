@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -88,4 +89,79 @@ func main() {
 	fmt.Printf("pay-per-use: $%.6f for %.0f instance-seconds\n", payPerUse, rt.InstanceSeconds)
 	fmt.Printf("peak-provisioned for the same window: $%.6f (%.1fx more)\n",
 		provisioned, provisioned/payPerUse)
+
+	admissionDemo()
+}
+
+// admissionDemo shows the other half of elasticity: what happens when the
+// cluster CANNOT scale to the offered load. A fixed 8-slot deployment is
+// hit with a burst at 4x its capacity. With Options.QoS set, the excess is
+// shed on arrival with the typed pcsi.ErrOverload, the queue-delay budget
+// caps the tail, and goodput stays pinned at capacity.
+func admissionDemo() {
+	opts := pcsi.DefaultOptions()
+	opts.Policy = pcsi.PlacePacked
+	opts.IdleTimeout = time.Second
+	// 4 nodes × 2 slots of 2000 mCPU → 8 concurrent invocations; at 10ms
+	// per call the deployment serves 800 rps, and the burst offers 3200.
+	opts.ClusterCfg.Racks = 2
+	opts.ClusterCfg.NodesPerRack = 2
+	opts.ClusterCfg.NodeCap = pcsi.Resources{MilliCPU: 4000, MemMB: 16384}
+	opts.QoS = &pcsi.QoSConfig{Invoke: pcsi.QoSClassConfig{
+		PerOp:         pcsi.Resources{MilliCPU: 2000, MemMB: 128},
+		MaxQueue:      64,
+		MaxQueueDelay: 100 * time.Millisecond,
+		CoDelTarget:   20 * time.Millisecond,
+		CoDelInterval: 100 * time.Millisecond,
+	}}
+	cloud := pcsi.New(opts)
+	client := cloud.NewClient(0)
+	env := cloud.Env()
+
+	lat := metrics.NewHistogram("latency")
+	var served, shed int
+
+	var fn pcsi.Ref
+	ready := env.NewEvent()
+	env.Go("setup", func(p *pcsi.Proc) {
+		var err error
+		fn, err = client.RegisterFunction(p, pcsi.FnConfig{
+			Name: "gated", Kind: pcsi.PlatformWasm,
+			Res: pcsi.Resources{MilliCPU: 1990, MemMB: 120},
+			Handler: func(fc *pcsi.FnCtx) error {
+				fc.Proc().Sleep(10 * time.Millisecond)
+				return nil
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ready.Complete(nil)
+	})
+	env.Go("burst", func(p *pcsi.Proc) {
+		if _, err := p.Wait(ready); err != nil {
+			return
+		}
+		arr := workload.NewPoisson(env, 3200) // 4x the 800 rps capacity
+		workload.Run(env, arr, p.Now().Add(2*time.Second), func(rp *pcsi.Proc, seq int) {
+			start := rp.Now()
+			switch _, err := client.Invoke(rp, fn, pcsi.InvokeArgs{}); {
+			case err == nil:
+				served++
+				lat.Observe(rp.Now().Sub(start))
+			case errors.Is(err, pcsi.ErrOverload):
+				shed++
+			}
+		})
+	})
+	env.RunUntil(pcsi.Time(5 * time.Second))
+	cloud.Runtime().Drain()
+
+	fmt.Printf("\n-- admission control: 4x overload burst against a fixed 8-slot fleet --\n")
+	fmt.Printf("served %d, shed %d (typed ErrOverload — never a timeout)\n", served, shed)
+	fmt.Printf("goodput %.0f rps of 800 rps capacity, p50=%v p99=%v (queue-delay budget 100ms)\n",
+		float64(served)/2, metrics.FmtDuration(lat.P50()), metrics.FmtDuration(lat.P99()))
+	st := cloud.QoS().ClassStats(pcsi.QoSClassInvoke)
+	fmt.Printf("shed breakdown: queue-full=%d deadline=%d codel=%d, peak queue %d\n",
+		st.ShedQueueFull, st.ShedDeadline, st.ShedCoDel, st.MaxQueued)
 }

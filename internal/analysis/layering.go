@@ -11,13 +11,28 @@ var (
 	substratePkgs = stringSet(
 		"internal/sim", "internal/metrics", "internal/simnet", "internal/cluster",
 		"internal/platform", "internal/wire", "internal/cost", "internal/workload",
-		"internal/media", "internal/trace", "internal/fault",
+		"internal/media", "internal/trace", "internal/fault", "internal/qos",
 	)
 
 	// faultDeps are the only packages internal/fault may import: the fault
 	// injector manipulates the network and cluster substrates but must stay
 	// importable from every domain layer without dragging anything else in.
 	faultDeps = stringSet("internal/sim", "internal/simnet", "internal/cluster")
+
+	// qosDeps are the only packages internal/qos may import: the admission
+	// controller schedules over virtual time and cluster capacity and emits
+	// trace events, but must not know about metrics (it takes interfaces),
+	// the state layer, or compute — the layers it gates wire it in.
+	qosDeps = stringSet("internal/sim", "internal/cluster", "internal/fault", "internal/trace")
+
+	// qosClients are the only packages that may import internal/qos: the
+	// admission-controlled layers (core's data plane, faas invoke,
+	// taskgraph), the facade that re-exports its configuration, and the
+	// experiment harness that measures it.
+	qosClients = stringSet(
+		"internal/core", "internal/faas", "internal/taskgraph",
+		"pcsi", "internal/experiments",
+	)
 	statePkgs = stringSet(
 		"internal/object", "internal/capability", "internal/store",
 		"internal/namespace", "internal/consistency", "internal/gc",
@@ -115,6 +130,15 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 			pass.Report(imp.Pos(), "internal/fault may not import %s: the fault injector depends only on internal/sim, internal/simnet, and internal/cluster so any layer can inject faults (DESIGN.md §3)", dep)
 			return
 		}
+	case target == "internal/qos":
+		// The admission controller gates the data plane and the invoke path
+		// but depends only on the scheduling substrate: virtual time, the
+		// cluster it derives capacity from, the fault layer's error
+		// classification, and the tracer. Metrics arrive as interfaces.
+		if !qosDeps[dep] {
+			pass.Report(imp.Pos(), "internal/qos may not import %s: the admission controller depends only on internal/sim, internal/cluster, internal/fault, and internal/trace; metrics are wired in as interfaces (DESIGN.md §3)", dep)
+			return
+		}
 	case substratePkgs[target]:
 		if !substratePkgs[dep] {
 			pass.Report(imp.Pos(), "substrate package %s may not import %s: substrates depend only on the stdlib and other substrates (DESIGN.md §3)", target, dep)
@@ -159,6 +183,10 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 	case "internal/analysis":
 		if !analysisClients[target] {
 			pass.Report(imp.Pos(), "%s may not import internal/analysis: only cmd/pcsi-vet runs the analyzers", target)
+		}
+	case "internal/qos":
+		if !qosClients[target] {
+			pass.Report(imp.Pos(), "%s may not import internal/qos: admission control is wired in by core, faas, and taskgraph; configure it through the pcsi facade", target)
 		}
 	}
 }

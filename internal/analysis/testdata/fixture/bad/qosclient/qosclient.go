@@ -1,0 +1,9 @@
+// Package qosclient violates layering: internal/qos is wired in by core,
+// faas, and taskgraph and configured through the pcsi facade — arbitrary
+// packages may not reach the admission controller directly.
+package qosclient
+
+import "fixture/internal/qos" // want: layering
+
+// Gate keeps the import used.
+func Gate(q *qos.Controller) { q.Admit() }

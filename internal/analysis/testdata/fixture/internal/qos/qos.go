@@ -1,0 +1,19 @@
+// Package qos violates its own layering rule: the admission controller
+// may import only internal/sim, internal/cluster, internal/fault,
+// internal/trace, and the stdlib — concrete metrics are wired in as
+// interfaces by the layers it gates, never imported.
+package qos
+
+import (
+	"fixture/internal/metrics" // want: layering
+	"fixture/internal/sim"
+)
+
+// Controller is a placeholder admission controller.
+type Controller struct {
+	Env  *sim.Env
+	shed metrics.Counter
+}
+
+// Admit keeps the imports used.
+func (q *Controller) Admit() { q.shed.Inc() }

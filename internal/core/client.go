@@ -9,6 +9,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/media"
 	"repro/internal/object"
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -21,6 +22,9 @@ import (
 type Client struct {
 	c    *Cloud
 	node simnet.NodeID
+	// tenant names the workload for QoS admission; "" is the default
+	// tenant. Inert when the cloud runs without a controller.
+	tenant string
 }
 
 // NewClient returns a client homed on a fresh node in the given rack.
@@ -39,6 +43,26 @@ func (cl *Client) Node() simnet.NodeID { return cl.node }
 
 // Cloud returns the owning deployment.
 func (cl *Client) Cloud() *Cloud { return cl.c }
+
+// WithTenant returns a copy of the client attributed to the named tenant:
+// its operations queue in (and are weighted by) that tenant's WFQ queues
+// when the cloud has a QoS controller, and its function invocations carry
+// the tenant in their placement hints.
+func (cl *Client) WithTenant(name string) *Client {
+	c2 := *cl
+	c2.tenant = name
+	return &c2
+}
+
+// Tenant returns the client's tenant name ("" = default).
+func (cl *Client) Tenant() string { return cl.tenant }
+
+// admit gates one data-plane operation through the admission controller.
+// With no controller (the historical configuration) it is an inlined
+// no-op returning the zero Grant.
+func (cl *Client) admit(p *sim.Proc, class qos.Class) (qos.Grant, error) {
+	return cl.c.qos.Admit(p, qos.Request{Tenant: cl.tenant, Class: class})
+}
 
 // CreateOpt mutates creation parameters.
 type CreateOpt func(*createParams)
@@ -107,6 +131,11 @@ func (cl *Client) Create(p *sim.Proc, kind object.Kind, opts ...CreateOpt) (Ref,
 	for _, o := range opts {
 		o(&params)
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return Ref{}, qerr
+	}
+	defer g.Release()
 	sp := trace.Of(cl.c.env).Start(p, "core.data", "create", trace.Int("origin", int64(cl.node)))
 	defer sp.Close(p)
 	start := p.Now()
@@ -150,6 +179,11 @@ func (cl *Client) Put(p *sim.Proc, r Ref, data []byte) error {
 	if err := cl.check(r, capability.Write); err != nil {
 		return err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.data", "put", r.cap.Object())
 	sp.Annotate(trace.Int("bytes", int64(len(data))))
 	defer sp.Close(p)
@@ -190,6 +224,11 @@ func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
 	if err := cl.check(r, capability.Read); err != nil {
 		return nil, err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return nil, qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.data", "get", r.cap.Object())
 	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
@@ -238,6 +277,11 @@ func (cl *Client) GetAt(p *sim.Proc, r Ref, lvl consistency.Level) ([]byte, erro
 	if err := cl.check(r, capability.Read); err != nil {
 		return nil, err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return nil, qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.data", "get_at", r.cap.Object())
 	defer sp.Close(p)
 	start := p.Now()
@@ -260,6 +304,11 @@ func (cl *Client) Append(p *sim.Proc, r Ref, data []byte) error {
 	if err := cl.check(r, capability.Append); err != nil {
 		return err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.data", "append", r.cap.Object())
 	sp.Annotate(trace.Int("bytes", int64(len(data))))
 	defer sp.Close(p)
@@ -287,6 +336,11 @@ func (cl *Client) WriteAt(p *sim.Proc, r Ref, data []byte, off int64) error {
 	if err := cl.check(r, capability.Write); err != nil {
 		return err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.data", "write_at", r.cap.Object())
 	sp.Annotate(trace.Int("bytes", int64(len(data))))
 	defer sp.Close(p)
@@ -316,6 +370,11 @@ func (cl *Client) ReadAt(p *sim.Proc, r Ref, off int64, n int) ([]byte, error) {
 	if err := cl.check(r, capability.Read); err != nil {
 		return nil, err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return nil, qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.data", "read_at", r.cap.Object())
 	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {
@@ -352,6 +411,11 @@ func (cl *Client) Freeze(p *sim.Proc, r Ref, m object.Mutability) error {
 	if err := cl.check(r, capability.SetMut); err != nil {
 		return err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.meta", "freeze", r.cap.Object())
 	sp.Annotate(trace.Str("to", m.String()))
 	defer sp.Close(p)
@@ -425,6 +489,11 @@ func (cl *Client) Push(p *sim.Proc, r Ref, msg []byte) error {
 	if err := cl.check(r, capability.Append); err != nil {
 		return err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.data", "push", r.cap.Object())
 	defer sp.Close(p)
 	cl.c.BytesMoved += int64(len(msg))
@@ -439,7 +508,9 @@ func (cl *Client) Push(p *sim.Proc, r Ref, msg []byte) error {
 }
 
 // Pop dequeues a message from a FIFO object, blocking (with polling) until
-// one is available.
+// one is available. Pop deliberately bypasses QoS admission: a consumer
+// parked on an empty queue would pin an admission slot for an unbounded
+// poll, starving producers of the very tokens needed to fill the queue.
 func (cl *Client) Pop(p *sim.Proc, r Ref) ([]byte, error) {
 	if err := cl.check(r, capability.Read|capability.Write); err != nil {
 		return nil, err
@@ -508,6 +579,11 @@ func (cl *Client) Stat(p *sim.Proc, r Ref) (StatInfo, error) {
 	if err := cl.check(r, capability.Read); err != nil {
 		return info, err
 	}
+	g, qerr := cl.admit(p, qos.ClassData)
+	if qerr != nil {
+		return info, qerr
+	}
+	defer g.Release()
 	sp := cl.opSpan(p, "core.meta", "stat", r.cap.Object())
 	defer sp.Close(p)
 	if e, ok := cl.c.ephemOf(r.cap.Object()); ok {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/platform"
+	"repro/internal/qos"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -89,6 +90,10 @@ type Options struct {
 	// behavior; during an active fault session the session's default
 	// policy is adopted instead.
 	Retry *fault.Policy
+	// QoS, when set, builds an admission controller over the cluster and
+	// threads it through data ops, function invocations, and task graphs.
+	// Nil keeps the historical unguarded paths byte-identical.
+	QoS *qos.Config
 }
 
 // DefaultOptions returns a representative mid-size deployment.
@@ -117,6 +122,7 @@ type Cloud struct {
 
 	inj   *fault.Injector // nil outside chaos sessions
 	retry *fault.Policy   // nil = no retries
+	qos   *qos.Controller // nil = no admission control
 
 	fnRefs   map[string]Ref // function name -> code object ref
 	fnByCode map[object.ID]string
@@ -212,11 +218,21 @@ func New(opts Options) *Cloud {
 	default:
 		plc = scheduler.GPUAware{C: cl, Inner: scheduler.Colocate{C: cl}}
 	}
+	// Admission control (optional): the controller derives concurrency
+	// limits from this cluster and exports per-class queue metrics into
+	// the cloud's registry. Nil config ⇒ nil controller ⇒ every Admit is
+	// an inlined no-op and the run is byte-identical to a pre-QoS build.
+	if opts.QoS != nil {
+		c.qos = qos.New(env, cl, *opts.QoS)
+		c.instrumentQoS()
+	}
+
 	c.rt = faas.NewRuntime(cl, scheduler.Traced{Env: env, Inner: plc}, faas.Config{
 		IdleTimeout:  opts.IdleTimeout,
 		CodeStore:    grp.Primary0Node(),
 		EvictionProb: opts.EvictionProb,
 		Metrics:      c.reg,
+		QoS:          c.qos,
 	})
 
 	// Fault-injection wiring. Only a non-idle active session yields an
@@ -278,6 +294,40 @@ func maxInt(a, b int) int {
 	}
 	return b
 }
+
+// instrumentQoS registers per-class queue-depth/in-flight gauges, a
+// queue-delay histogram, and admit/shed counters in the cloud's metrics
+// registry and hands them to the controller. metrics.Gauge, Histogram,
+// and Counter satisfy the qos metric interfaces structurally — qos itself
+// never imports internal/metrics.
+func (c *Cloud) instrumentQoS() {
+	for _, class := range []qos.Class{qos.ClassData, qos.ClassInvoke, qos.ClassTask} {
+		if !c.qos.Enabled(class) {
+			continue
+		}
+		depth := metrics.NewGauge("qos_" + class.String() + "_queue_depth")
+		inflight := metrics.NewGauge("qos_" + class.String() + "_inflight")
+		delay := metrics.NewHistogram("qos_" + class.String() + "_queue_delay")
+		admitted := metrics.NewCounter("qos_" + class.String() + "_admitted")
+		shed := metrics.NewCounter("qos_" + class.String() + "_shed")
+		c.reg.Register(depth)
+		c.reg.Register(inflight)
+		c.reg.Register(delay)
+		c.reg.Register(admitted)
+		c.reg.Register(shed)
+		c.qos.Instrument(class, qos.Instruments{
+			QueueDepth: depth,
+			InFlight:   inflight,
+			QueueDelay: delay,
+			Admitted:   admitted,
+			Shed:       shed,
+		})
+	}
+}
+
+// QoS returns the admission controller, or nil when the deployment runs
+// without one.
+func (c *Cloud) QoS() *qos.Controller { return c.qos }
 
 // Env returns the simulation environment.
 func (c *Cloud) Env() *sim.Env { return c.env }

@@ -161,6 +161,9 @@ func (cl *Client) Invoke(p *sim.Proc, fnRef Ref, args InvokeArgs) (*faas.Instanc
 	if args.Goal != faas.GoalDefault {
 		hints.Goal = args.Goal
 	}
+	if hints.Tenant == "" {
+		hints.Tenant = cl.tenant
+	}
 	var inst *faas.Instance
 	err := cl.c.do(p, "core.invoke:"+name, func() error {
 		if ferr := cl.c.inj.OpFault(p, "core.invoke"); ferr != nil {
@@ -221,6 +224,8 @@ func (cl *Client) RunGraph(p *sim.Proc, tasks []GraphTask) (map[string]*taskgrap
 	ex := taskgraph.NewExecutor(cl.c.rt)
 	ex.MakeCtx = func(t *taskgraph.Task) any { return argsByName[t.Name] }
 	ex.Retry = cl.c.retry
+	ex.QoS = cl.c.qos
+	ex.Tenant = cl.tenant
 	// Bracketing counters: Execute returns on both success and clean
 	// failure, so a mismatch means a graph leaked mid-flight (chaos
 	// invariant).

@@ -17,6 +17,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -48,6 +49,10 @@ type PlacementHints struct {
 	Scavenge bool
 	// Goal selects among a function's variants (§3.1's optimizer).
 	Goal Goal
+	// Tenant names the workload for QoS admission and weighted-fair
+	// queueing ("" = the default tenant). Ignored when the runtime has no
+	// QoS controller.
+	Tenant string
 }
 
 // Placer chooses a node for a new instance. Implementations live in
@@ -167,6 +172,10 @@ type Config struct {
 	// process changes event interleaving, so fault-free runs keep the
 	// historical inline path byte-identical. Chaos runs switch it on.
 	FailFast bool
+	// QoS optionally gates invocations through an admission controller
+	// (qos.ClassInvoke). Nil = no admission control, byte-identical to the
+	// pre-QoS runtime.
+	QoS *qos.Controller
 }
 
 // Runtime hosts functions on a cluster.
@@ -281,6 +290,16 @@ func (rt *Runtime) Invoke(p *sim.Proc, name string, body []byte, hints Placement
 	}
 	sp := trace.Of(rt.env).Start(p, "faas", "invoke", trace.Str("fn", name))
 	start := p.Now()
+	// Admission control: park in the tenant's weighted-fair queue (or shed
+	// under overload) before any placement work happens. A nil controller
+	// admits inline with zero overhead.
+	grant, err := rt.cfg.QoS.Admit(p, qos.Request{Tenant: hints.Tenant, Class: qos.ClassInvoke})
+	if err != nil {
+		sp.Annotate(trace.Str("err", err.Error()))
+		sp.Close(p)
+		return nil, err
+	}
+	defer grant.Release()
 	qsp := trace.Of(rt.env).Start(p, "sched", "acquire")
 	inst, err := rt.acquire(p, fn, hints)
 	qsp.Close(p)

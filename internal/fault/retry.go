@@ -141,11 +141,25 @@ func (p *Policy) Do(proc *sim.Proc, op string, fn func() error) error {
 	}
 }
 
+// Classified is implemented by errors that carry their own retry
+// classification. Typed rejections from higher layers (e.g. QoS overload
+// sheds) classify themselves as fatal through this interface, so the
+// fault layer never has to import them: a shed is an answer, and
+// retrying it re-offers the load the system just refused.
+type Classified interface {
+	Retryable() bool
+}
+
 // Retryable is the substrate-level error classifier: injected faults,
 // timeouts, and node/capacity transients are retryable; everything else
 // (not-found, invalid refs, capability denials, handler bugs) is fatal.
-// Embedding layers wrap this to add their own transient errors.
+// Errors implementing Classified override the table. Embedding layers
+// wrap this to add their own transient errors.
 func Retryable(err error) bool {
+	var c Classified
+	if errors.As(err, &c) {
+		return c.Retryable()
+	}
 	switch {
 	case err == nil:
 		return false

@@ -220,10 +220,16 @@ func (g *Gauge) Level() float64 { return g.level }
 func (g *Gauge) Max() float64 { return g.maxLevel }
 
 // Avg returns the time-weighted average level from the first Set through
-// endNS.
+// endNS. A zero-duration window (endNS == the first update, e.g. a burst
+// where everything happens at one virtual instant) has no area to
+// integrate; the current level is the only defensible mean, so return it
+// rather than 0.
 func (g *Gauge) Avg(endNS int64) float64 {
-	if !g.started || endNS <= g.startT {
+	if !g.started {
 		return 0
+	}
+	if endNS <= g.startT {
+		return g.level
 	}
 	w := g.weighted + g.level*float64(endNS-g.lastT)
 	return w / float64(endNS-g.startT)

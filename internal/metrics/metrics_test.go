@@ -171,9 +171,29 @@ func TestGaugeAvgBeforeStart(t *testing.T) {
 	if g.Avg(100) != 0 {
 		t.Errorf("Avg of unset gauge = %v, want 0", g.Avg(100))
 	}
-	g.Set(50, 1)
-	if g.Avg(50) != 0 {
-		t.Errorf("Avg over empty window = %v, want 0", g.Avg(50))
+}
+
+// A window of zero duration has no area to integrate; the mean must be
+// the level at that instant, not 0 — otherwise a burst whose updates all
+// land on one virtual timestamp reports an average of zero depth while
+// holding a nonzero queue.
+func TestGaugeAvgZeroDurationWindow(t *testing.T) {
+	g := NewGauge("depth")
+	g.Set(50, 3)
+	if got := g.Avg(50); got != 3 {
+		t.Errorf("Avg over zero-duration window = %v, want 3", got)
+	}
+	g.Add(50, 2) // still the same instant
+	if got := g.Avg(50); got != 5 {
+		t.Errorf("Avg after same-instant Add = %v, want 5", got)
+	}
+	if got := g.Avg(40); got != 5 {
+		t.Errorf("Avg with end before start = %v, want current level 5", got)
+	}
+	// Once the window has real width, normal integration resumes.
+	g.Set(60, 0)
+	if got, want := g.Avg(60), 5.0; got != want {
+		t.Errorf("Avg over [50,60] = %v, want %v", got, want)
 	}
 }
 

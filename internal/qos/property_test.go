@@ -1,0 +1,135 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestPropertyWFQFairness: for any tenant set with arbitrary weights, all
+// continuously backlogged, each tenant's service count stays within one
+// max-op (plus integer rounding) of its weighted share — the classic
+// start-time-fair queueing bound.
+func TestPropertyWFQFairness(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Rand:     rand.New(rand.NewSource(7)),
+	}
+	prop := func(seed int64, nTenants uint8, rawWeights [5]uint8) bool {
+		n := 2 + int(nTenants)%4 // 2..5 tenants
+		weights := map[string]float64{}
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = string(rune('a' + i))
+			weights[names[i]] = float64(1 + int(rawWeights[i])%8) // 1..8
+		}
+		env := sim.NewEnv(seed)
+		q := testController(env, ClassConfig{MaxConcurrency: 1}, weights)
+		const service = time.Millisecond
+		horizon := sim.Time(300 * time.Millisecond)
+		served := map[string]int{}
+		for _, name := range names {
+			name := name
+			for w := 0; w < 3; w++ { // keep a standing backlog per tenant
+				env.Go(name, func(p *sim.Proc) {
+					for p.Now() < horizon {
+						g, err := q.Admit(p, Request{Tenant: name, Class: ClassInvoke})
+						if err != nil {
+							return
+						}
+						p.Sleep(service)
+						if p.Now() <= horizon {
+							served[name]++
+						}
+						g.Release()
+					}
+				})
+			}
+		}
+		env.RunUntil(horizon)
+		total, wsum := 0, 0.0
+		for _, name := range names {
+			total += served[name]
+			wsum += weights[name]
+		}
+		if total == 0 {
+			return false
+		}
+		for _, name := range names {
+			share := weights[name] / wsum
+			want := float64(total) * share
+			diff := float64(served[name]) - want
+			if diff < 0 {
+				diff = -diff
+			}
+			// SFQ bound: lag ≤ one op of every competing tenant's share,
+			// i.e. within ~1 op of the ideal plus integer rounding.
+			if diff > 2 {
+				t.Logf("tenant %s served %d, ideal %.2f (weights %v, total %d)",
+					name, served[name], want, weights, total)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyShedRateMonotone: for any queue/deadline configuration,
+// pushing a deterministic open-loop arrival ladder at increasing offered
+// load never decreases the number of sheds — overload protection responds
+// monotonically to pressure.
+func TestPropertyShedRateMonotone(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Rand:     rand.New(rand.NewSource(11)),
+	}
+	prop := func(rawLimit, rawQueue uint8) bool {
+		limit := 1 + int(rawLimit)%4    // 1..4 concurrent ops
+		maxQueue := 1 + int(rawQueue)%8 // 1..8 queued per tenant
+		const service = 10 * time.Millisecond
+		// Capacity of the class in requests/sec.
+		capacity := float64(limit) / service.Seconds()
+		prevShed := int64(-1)
+		for _, factor := range []float64{0.5, 1, 2, 4} {
+			env := sim.NewEnv(1)
+			q := testController(env, ClassConfig{
+				MaxConcurrency: limit,
+				MaxQueue:       maxQueue,
+			}, nil)
+			rate := capacity * factor
+			gap := sim.Duration(float64(time.Second) / rate)
+			window := 500 * time.Millisecond
+			n := int(float64(window) / float64(gap))
+			for i := 0; i < n; i++ {
+				i := i
+				env.Go("arrival", func(p *sim.Proc) {
+					p.Sleep(sim.Duration(i) * gap) // uniform open-loop arrivals
+					g, err := q.Admit(p, Request{Class: ClassInvoke})
+					if err != nil {
+						return
+					}
+					p.Sleep(service)
+					g.Release()
+				})
+			}
+			env.Run()
+			shed := q.ClassStats(ClassInvoke).Shed
+			if shed < prevShed {
+				t.Logf("limit=%d queue=%d: shed %d at %.1fx after %d at lower load",
+					limit, maxQueue, shed, factor, prevShed)
+				return false
+			}
+			prevShed = shed
+		}
+		return prevShed > 0 // 4x offered load must shed something
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,546 @@
+// Package qos implements admission control, weighted-fair queueing, and
+// overload protection for the PCSI data plane and FaaS invocation path.
+//
+// The paper's §4 performance claim is that an explicit OS-style interface
+// lets the provider schedule and isolate work predictably, where REST
+// clouds expose only opaque throttling (429s) that clients answer with
+// retries. This package is the scheduling half of that claim:
+//
+//   - Per-tenant weighted-fair queueing: start-time-fair virtual-time tags
+//     over sim.Time decide dispatch order, so each backlogged tenant
+//     receives service proportional to its weight within one operation of
+//     its weighted share.
+//   - Concurrency limits derived from cluster capacity ([Capacity]), so
+//     admitted work never dives into the placement layer just to fail.
+//   - Bounded per-tenant queues with deadline-aware load shedding:
+//     requests that would (or did) wait longer than the class's queue-delay
+//     budget are rejected early with a typed [ErrOverload] that the retry
+//     layer classifies as fatal — overload rejections are an answer, not a
+//     transient, which kills retry storms at the source.
+//   - CoDel-style queue-delay backpressure: when the standing queue delay
+//     stays above target for a full interval, queued requests are shed at
+//     increasing frequency until the queue drains to target.
+//
+// Every decision is a pure function of virtual time and deterministic
+// arrival order (tie-breaks by tenant name, then sequence number) — the
+// same property as sim.Env.ObserverRand streams, only stronger: no
+// randomness is consumed at all. A nil *Controller is fully inert: every
+// method no-ops without touching the event queue, so a QoS-disabled run is
+// byte-identical to one built before this package existed.
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ErrOverload is the sentinel all QoS rejections match via errors.Is. It
+// implements the fault layer's Classified interface as non-retryable:
+// shedding is load control, and a client that retries a shed re-offers
+// the very load the system just refused.
+var ErrOverload error = overloadSentinel{}
+
+type overloadSentinel struct{}
+
+func (overloadSentinel) Error() string   { return "qos: overloaded" }
+func (overloadSentinel) Retryable() bool { return false }
+
+// OverloadError is the typed rejection returned to shed requests. It
+// matches ErrOverload under errors.Is and classifies as non-retryable.
+type OverloadError struct {
+	Tenant string
+	Class  Class
+	// Reason is "queue-full", "deadline", or "codel".
+	Reason string
+}
+
+// Error renders the rejection.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("qos: overloaded (%s, tenant %q, class %s)", e.Reason, e.Tenant, e.Class)
+}
+
+// Is matches the ErrOverload sentinel.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverload }
+
+// Retryable marks shed responses fatal for fault.Policy classification.
+func (e *OverloadError) Retryable() bool { return false }
+
+// Class separates the admission-controlled paths; each class has its own
+// concurrency budget and queues, so task-level and invocation-level
+// admission compose without double-counting.
+type Class uint8
+
+// The admission classes.
+const (
+	// ClassData gates data/meta operations on the PCSI client.
+	ClassData Class = iota
+	// ClassInvoke gates function invocations in the FaaS runtime.
+	ClassInvoke
+	// ClassTask gates task-graph task launches.
+	ClassTask
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassInvoke:
+		return "invoke"
+	case ClassTask:
+		return "task"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ClassConfig tunes one admission class. A zero-value class is disabled:
+// Admit passes through with no queueing and no bookkeeping.
+type ClassConfig struct {
+	// MaxConcurrency is the number of operations admitted concurrently.
+	// When 0 and PerOp is set, it is derived from cluster capacity at
+	// construction ([Capacity]).
+	MaxConcurrency int
+	// PerOp is the resource footprint one admitted operation occupies,
+	// used to derive MaxConcurrency from the cluster.
+	PerOp cluster.Resources
+	// MaxQueue bounds each tenant's queue; arrivals beyond it are shed
+	// with reason "queue-full". 0 = unbounded.
+	MaxQueue int
+	// MaxQueueDelay is the queue-delay budget: arrivals whose estimated
+	// wait exceeds it are shed on arrival, and queued requests that have
+	// already waited longer are shed at dispatch (reason "deadline").
+	// 0 = no deadline shedding.
+	MaxQueueDelay sim.Duration
+	// CoDelTarget enables CoDel-style backpressure: when the delay of
+	// dispatched requests stays above the target for a full CoDelInterval,
+	// queued requests are shed (reason "codel") at increasing frequency
+	// until the standing queue drains. 0 = off.
+	CoDelTarget sim.Duration
+	// CoDelInterval is the CoDel control interval (default 100ms).
+	CoDelInterval sim.Duration
+}
+
+// Config configures a Controller.
+type Config struct {
+	// Weights maps tenant name to WFQ weight. Unknown tenants (and the
+	// "" tenant, recorded as "default") get weight 1.
+	Weights map[string]float64
+	// Data, Invoke, and Task configure the three admission classes.
+	Data, Invoke, Task ClassConfig
+}
+
+// Request asks for admission of one operation.
+type Request struct {
+	// Tenant is the workload the operation belongs to ("" = "default").
+	Tenant string
+	Class  Class
+}
+
+// Stats is a snapshot of one class's admission counters.
+type Stats struct {
+	Admitted      int64
+	Shed          int64
+	ShedQueueFull int64
+	ShedDeadline  int64
+	ShedCoDel     int64
+	MaxQueued     int
+}
+
+// Gauge is the subset of metrics.Gauge the controller drives. The
+// controller takes interfaces rather than importing internal/metrics so
+// its import surface stays at sim/cluster/fault/trace (DESIGN.md §3); the
+// embedding layer wires concrete metrics in via Instrument.
+type Gauge interface {
+	Add(nowNS int64, delta float64)
+}
+
+// Observer is the subset of metrics.Histogram the controller drives.
+type Observer interface {
+	Observe(d sim.Duration)
+}
+
+// Counter is the subset of metrics.Counter the controller drives.
+type Counter interface {
+	Inc()
+}
+
+// Instruments are the per-class metrics the embedding system provides.
+// Any field may be nil.
+type Instruments struct {
+	// QueueDepth tracks the total queued requests of the class over time.
+	QueueDepth Gauge
+	// InFlight tracks admitted, not-yet-released operations over time.
+	InFlight Gauge
+	// QueueDelay observes the queueing delay of each admitted request.
+	QueueDelay Observer
+	// Admitted and Shed count admission outcomes.
+	Admitted Counter
+	Shed     Counter
+}
+
+// Controller is the admission-control plane of one deployment. A nil
+// Controller is valid and fully inert.
+type Controller struct {
+	env     *sim.Env
+	classes [numClasses]*classQ
+	weights map[string]float64
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	tenant *tenantQ
+	ev     *sim.Event
+	enq    sim.Time
+	start  float64 // virtual start tag
+	finish float64 // virtual finish tag
+	seq    uint64
+}
+
+// tenantQ is one tenant's FIFO within a class.
+type tenantQ struct {
+	name       string
+	weight     float64
+	lastFinish float64
+	q          []*waiter
+}
+
+// classQ is the WFQ scheduler state of one class.
+type classQ struct {
+	class    Class
+	cfg      ClassConfig
+	limit    int
+	inflight int
+	queued   int
+	vtime    float64
+	seq      uint64
+	tenants  map[string]*tenantQ
+	names    []string // sorted tenant names, for deterministic scans
+	cd       codel
+	// ewmaServiceNS estimates per-operation service time for the
+	// arrival-time wait estimate (deadline-aware early rejection).
+	ewmaServiceNS float64
+	ins           Instruments
+	stats         Stats
+}
+
+// New builds a Controller over env. Classes whose resolved concurrency
+// limit is zero stay disabled. cl (may be nil) supplies the capacity that
+// PerOp-configured classes derive their limits from.
+func New(env *sim.Env, cl *cluster.Cluster, cfg Config) *Controller {
+	q := &Controller{env: env, weights: cfg.Weights}
+	for class, cc := range map[Class]ClassConfig{ClassData: cfg.Data, ClassInvoke: cfg.Invoke, ClassTask: cfg.Task} {
+		limit := cc.MaxConcurrency
+		if limit == 0 && cl != nil {
+			limit = Capacity(cl, cc.PerOp)
+		}
+		if limit <= 0 {
+			continue
+		}
+		if cc.CoDelTarget > 0 && cc.CoDelInterval <= 0 {
+			cc.CoDelInterval = 100 * sim.Duration(1e6) // 100ms
+		}
+		q.classes[class] = &classQ{
+			class:   class,
+			cfg:     cc,
+			limit:   limit,
+			tenants: make(map[string]*tenantQ),
+			cd:      codel{target: cc.CoDelTarget, interval: cc.CoDelInterval},
+		}
+	}
+	return q
+}
+
+// Capacity returns how many operations of footprint res the cluster can
+// host concurrently, summing each node's bottleneck dimension. A zero
+// footprint (or cluster) yields 0 — callers must state what one admitted
+// operation costs before a limit can be derived.
+func Capacity(cl *cluster.Cluster, res cluster.Resources) int {
+	if cl == nil {
+		return 0
+	}
+	total := 0
+	for _, n := range cl.Nodes() {
+		per := math.MaxInt
+		counted := false
+		if res.MilliCPU > 0 {
+			per = minInt(per, int(n.Cap.MilliCPU/res.MilliCPU))
+			counted = true
+		}
+		if res.MemMB > 0 {
+			per = minInt(per, int(n.Cap.MemMB/res.MemMB))
+			counted = true
+		}
+		if res.GPUs > 0 {
+			per = minInt(per, int(n.Cap.GPUs/res.GPUs))
+			counted = true
+		}
+		if counted {
+			total += per
+		}
+	}
+	return total
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Enabled reports whether the class admits under control. A nil
+// controller (and a zero-limit class) reports false.
+func (q *Controller) Enabled(class Class) bool {
+	return q != nil && class < numClasses && q.classes[class] != nil
+}
+
+// Limit returns the class's resolved concurrency limit (0 if disabled).
+func (q *Controller) Limit(class Class) int {
+	if !q.Enabled(class) {
+		return 0
+	}
+	return q.classes[class].limit
+}
+
+// Instrument wires metrics into a class. No-op on nil controllers and
+// disabled classes.
+func (q *Controller) Instrument(class Class, ins Instruments) {
+	if !q.Enabled(class) {
+		return
+	}
+	q.classes[class].ins = ins
+}
+
+// ClassStats snapshots a class's admission counters.
+func (q *Controller) ClassStats(class Class) Stats {
+	if !q.Enabled(class) {
+		return Stats{}
+	}
+	return q.classes[class].stats
+}
+
+// Grant is an admitted operation's token; Release it when the operation
+// completes. The zero Grant (returned by pass-through admissions) releases
+// as a no-op.
+type Grant struct {
+	q       *Controller
+	c       *classQ
+	admitAt sim.Time
+}
+
+// Admit runs the admission gate for one operation, parking the calling
+// process in the tenant's weighted-fair queue while the class is at its
+// concurrency limit. It returns an error matching ErrOverload when the
+// request is shed (queue full, deadline exceeded, or CoDel backpressure).
+// On nil controllers and disabled classes it admits immediately with zero
+// overhead.
+func (q *Controller) Admit(p *sim.Proc, req Request) (Grant, error) {
+	if q == nil || req.Class >= numClasses {
+		return Grant{}, nil
+	}
+	c := q.classes[req.Class]
+	if c == nil {
+		return Grant{}, nil
+	}
+	now := q.env.Now()
+	t := c.tenant(q, req.Tenant)
+
+	// Fast path: free slot and empty queue — admit without parking.
+	if c.queued == 0 && c.inflight < c.limit {
+		start := math.Max(c.vtime, t.lastFinish)
+		t.lastFinish = start + 1/t.weight
+		c.vtime = start
+		return q.admitNow(c, now, 0), nil
+	}
+
+	if c.cfg.MaxQueue > 0 && len(t.q) >= c.cfg.MaxQueue {
+		return Grant{}, q.shedArrival(c, t, "queue-full")
+	}
+	if c.cfg.MaxQueueDelay > 0 && c.estWait() > c.cfg.MaxQueueDelay {
+		return Grant{}, q.shedArrival(c, t, "deadline")
+	}
+
+	c.seq++
+	w := &waiter{tenant: t, ev: q.env.NewEvent(), enq: now, seq: c.seq}
+	w.start = math.Max(c.vtime, t.lastFinish)
+	w.finish = w.start + 1/t.weight
+	t.lastFinish = w.finish
+	t.q = append(t.q, w)
+	c.queued++
+	if c.queued > c.stats.MaxQueued {
+		c.stats.MaxQueued = c.queued
+	}
+	gaugeAdd(c.ins.QueueDepth, now, 1)
+
+	sp := trace.Of(q.env).Start(p, "qos", "queue",
+		trace.Str("class", c.class.String()), trace.Str("tenant", t.name))
+	q.dispatch(c)
+	_, err := p.Wait(w.ev)
+	sp.Close(p)
+	if err != nil {
+		return Grant{}, err
+	}
+	return Grant{q: q, c: c, admitAt: q.env.Now()}, nil
+}
+
+// Release returns the operation's concurrency slot and dispatches queued
+// work. Safe on the zero Grant.
+func (g Grant) Release() {
+	if g.c == nil {
+		return
+	}
+	now := g.q.env.Now()
+	c := g.c
+	c.inflight--
+	gaugeAdd(c.ins.InFlight, now, -1)
+	// Deterministic EWMA of observed service time feeds the arrival-time
+	// wait estimate.
+	const alpha = 0.2
+	s := float64(now.Sub(g.admitAt))
+	if c.ewmaServiceNS == 0 {
+		c.ewmaServiceNS = s
+	} else {
+		c.ewmaServiceNS += alpha * (s - c.ewmaServiceNS)
+	}
+	g.q.dispatch(c)
+}
+
+// admitNow books an in-flight slot at time now.
+func (q *Controller) admitNow(c *classQ, now sim.Time, delay sim.Duration) Grant {
+	c.inflight++
+	c.stats.Admitted++
+	counterInc(c.ins.Admitted)
+	gaugeAdd(c.ins.InFlight, now, 1)
+	if c.ins.QueueDelay != nil {
+		c.ins.QueueDelay.Observe(delay)
+	}
+	return Grant{q: q, c: c, admitAt: now}
+}
+
+// dispatch admits queued requests in virtual-finish-tag order while slots
+// are free, applying deadline and CoDel shedding to queue heads.
+func (q *Controller) dispatch(c *classQ) {
+	now := q.env.Now()
+	for c.inflight < c.limit {
+		w := c.popMinFinish()
+		if w == nil {
+			return
+		}
+		gaugeAdd(c.ins.QueueDepth, now, -1)
+		sojourn := now.Sub(w.enq)
+		if c.cfg.MaxQueueDelay > 0 && sojourn > c.cfg.MaxQueueDelay {
+			q.shedQueued(c, w, "deadline")
+			continue
+		}
+		if c.cd.onDispatch(now, sojourn) {
+			q.shedQueued(c, w, "codel")
+			continue
+		}
+		c.vtime = math.Max(c.vtime, w.start)
+		g := q.admitNow(c, now, sojourn)
+		w.ev.Complete(g)
+	}
+}
+
+// popMinFinish removes and returns the queue-head waiter with the
+// smallest virtual finish tag; ties break on sequence number. Tenants are
+// scanned in sorted-name order, so the choice is deterministic.
+func (c *classQ) popMinFinish() *waiter {
+	var best *tenantQ
+	for _, name := range c.names {
+		t := c.tenants[name]
+		if len(t.q) == 0 {
+			continue
+		}
+		if best == nil || t.q[0].finish < best.q[0].finish ||
+			(t.q[0].finish == best.q[0].finish && t.q[0].seq < best.q[0].seq) {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	w := best.q[0]
+	best.q = best.q[1:]
+	c.queued--
+	return w
+}
+
+// estWait estimates a new arrival's queueing delay from the current
+// backlog and the observed service rate.
+func (c *classQ) estWait() sim.Duration {
+	if c.ewmaServiceNS == 0 {
+		return 0
+	}
+	return sim.Duration(float64(c.queued+1) * c.ewmaServiceNS / float64(c.limit))
+}
+
+// tenant returns (creating) the named tenant's queue.
+func (c *classQ) tenant(q *Controller, name string) *tenantQ {
+	if name == "" {
+		name = "default"
+	}
+	t, ok := c.tenants[name]
+	if !ok {
+		w := q.weights[name]
+		if w <= 0 {
+			w = 1
+		}
+		t = &tenantQ{name: name, weight: w}
+		c.tenants[name] = t
+		i := sort.SearchStrings(c.names, name)
+		c.names = append(c.names, "")
+		copy(c.names[i+1:], c.names[i:])
+		c.names[i] = name
+	}
+	return t
+}
+
+// shedArrival rejects a request at the admission gate.
+func (q *Controller) shedArrival(c *classQ, t *tenantQ, reason string) error {
+	err := &OverloadError{Tenant: t.name, Class: c.class, Reason: reason}
+	q.recordShed(c, t.name, reason)
+	return err
+}
+
+// shedQueued rejects a request that was already queued; the parked
+// process resumes with the overload error.
+func (q *Controller) shedQueued(c *classQ, w *waiter, reason string) {
+	q.recordShed(c, w.tenant.name, reason)
+	w.ev.Fail(&OverloadError{Tenant: w.tenant.name, Class: c.class, Reason: reason})
+}
+
+func (q *Controller) recordShed(c *classQ, tenant, reason string) {
+	c.stats.Shed++
+	switch reason {
+	case "queue-full":
+		c.stats.ShedQueueFull++
+	case "deadline":
+		c.stats.ShedDeadline++
+	case "codel":
+		c.stats.ShedCoDel++
+	}
+	counterInc(c.ins.Shed)
+	trace.Of(q.env).Instant("qos", "qos", "shed",
+		trace.Str("class", c.class.String()), trace.Str("tenant", tenant),
+		trace.Str("reason", reason))
+}
+
+func gaugeAdd(g Gauge, now sim.Time, delta float64) {
+	if g != nil {
+		g.Add(int64(now), delta)
+	}
+}
+
+func counterInc(c Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}

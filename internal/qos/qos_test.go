@@ -1,0 +1,344 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	//pcsi:allow layering tests need a real cluster, whose constructor takes a network; simnet never reaches non-test qos code
+	"repro/internal/simnet"
+)
+
+// one controller with a single invoke-class limit, no cluster derivation.
+func testController(env *sim.Env, cc ClassConfig, weights map[string]float64) *Controller {
+	return New(env, nil, Config{Invoke: cc, Weights: weights})
+}
+
+func TestNilControllerIsInert(t *testing.T) {
+	env := sim.NewEnv(1)
+	var q *Controller
+	done := false
+	env.Go("op", func(p *sim.Proc) {
+		g, err := q.Admit(p, Request{Tenant: "a", Class: ClassInvoke})
+		if err != nil {
+			t.Errorf("nil controller Admit err = %v", err)
+		}
+		g.Release()
+		done = true
+	})
+	env.Run()
+	if !done {
+		t.Fatal("proc did not run")
+	}
+	if q.Enabled(ClassInvoke) || q.Limit(ClassInvoke) != 0 {
+		t.Error("nil controller reports enabled")
+	}
+	q.Instrument(ClassInvoke, Instruments{})
+	if q.ClassStats(ClassInvoke) != (Stats{}) {
+		t.Error("nil controller has stats")
+	}
+}
+
+func TestDisabledClassPassesThrough(t *testing.T) {
+	env := sim.NewEnv(1)
+	q := testController(env, ClassConfig{MaxConcurrency: 1}, nil)
+	if q.Enabled(ClassData) {
+		t.Fatal("data class should be disabled")
+	}
+	env.Go("op", func(p *sim.Proc) {
+		g, err := q.Admit(p, Request{Class: ClassData})
+		if err != nil {
+			t.Errorf("disabled class Admit err = %v", err)
+		}
+		g.Release()
+	})
+	env.Run()
+}
+
+func TestConcurrencyLimitEnforced(t *testing.T) {
+	env := sim.NewEnv(1)
+	q := testController(env, ClassConfig{MaxConcurrency: 2}, nil)
+	var peak, cur int
+	for i := 0; i < 6; i++ {
+		env.Go("op", func(p *sim.Proc) {
+			g, err := q.Admit(p, Request{Class: ClassInvoke})
+			if err != nil {
+				t.Errorf("Admit: %v", err)
+				return
+			}
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			p.Sleep(time.Millisecond)
+			cur--
+			g.Release()
+		})
+	}
+	env.Run()
+	if peak != 2 {
+		t.Errorf("peak concurrency = %d, want 2", peak)
+	}
+	st := q.ClassStats(ClassInvoke)
+	if st.Admitted != 6 || st.Shed != 0 {
+		t.Errorf("stats = %+v, want 6 admitted, 0 shed", st)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	env := sim.NewEnv(1)
+	q := testController(env, ClassConfig{MaxConcurrency: 1, MaxQueue: 2}, nil)
+	var admitted, shed int
+	for i := 0; i < 6; i++ {
+		env.Go("op", func(p *sim.Proc) {
+			g, err := q.Admit(p, Request{Class: ClassInvoke})
+			if err != nil {
+				if !errors.Is(err, ErrOverload) {
+					t.Errorf("shed error %v does not match ErrOverload", err)
+				}
+				shed++
+				return
+			}
+			admitted++
+			p.Sleep(time.Millisecond)
+			g.Release()
+		})
+	}
+	env.Run()
+	// 1 in flight + 2 queued; the remaining 3 shed at arrival.
+	if admitted != 3 || shed != 3 {
+		t.Errorf("admitted=%d shed=%d, want 3/3", admitted, shed)
+	}
+	st := q.ClassStats(ClassInvoke)
+	if st.ShedQueueFull != 3 {
+		t.Errorf("ShedQueueFull = %d, want 3", st.ShedQueueFull)
+	}
+	var oe *OverloadError
+	env.Go("late", func(p *sim.Proc) {
+		// Queue drained; this admits.
+		g, err := q.Admit(p, Request{Class: ClassInvoke})
+		if err != nil {
+			t.Errorf("post-drain Admit: %v", err)
+		}
+		g.Release()
+	})
+	env.Run()
+	_ = oe
+}
+
+func TestOverloadErrorClassification(t *testing.T) {
+	err := error(&OverloadError{Tenant: "a", Class: ClassData, Reason: "queue-full"})
+	if !errors.Is(err, ErrOverload) {
+		t.Error("OverloadError does not match ErrOverload")
+	}
+	if fault.Retryable(err) {
+		t.Error("overload shed classified retryable; retry storms survive")
+	}
+	if fault.Retryable(ErrOverload) {
+		t.Error("ErrOverload sentinel classified retryable")
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue-full" {
+		t.Errorf("errors.As round-trip failed: %v", oe)
+	}
+	if err.Error() == "" || ErrOverload.Error() == "" {
+		t.Error("empty error strings")
+	}
+}
+
+func TestDeadlineShedsStaleQueuedWork(t *testing.T) {
+	env := sim.NewEnv(1)
+	q := testController(env, ClassConfig{MaxConcurrency: 1, MaxQueueDelay: 5 * time.Millisecond}, nil)
+	var order []string
+	env.Go("hog", func(p *sim.Proc) {
+		g, err := q.Admit(p, Request{Class: ClassInvoke})
+		if err != nil {
+			t.Errorf("hog: %v", err)
+			return
+		}
+		p.Sleep(20 * time.Millisecond) // far past the queue-delay budget
+		g.Release()
+		order = append(order, "hog-done")
+	})
+	env.Go("victim", func(p *sim.Proc) {
+		p.Sleep(time.Microsecond) // queue behind the hog
+		_, err := q.Admit(p, Request{Class: ClassInvoke})
+		if !errors.Is(err, ErrOverload) {
+			t.Errorf("victim err = %v, want overload", err)
+		}
+		var oe *OverloadError
+		if errors.As(err, &oe) && oe.Reason != "deadline" {
+			t.Errorf("reason = %q, want deadline", oe.Reason)
+		}
+		order = append(order, "victim-shed")
+	})
+	env.Run()
+	if len(order) != 2 || order[0] != "hog-done" {
+		t.Errorf("order = %v", order)
+	}
+	if st := q.ClassStats(ClassInvoke); st.ShedDeadline != 1 {
+		t.Errorf("ShedDeadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+func TestWFQRespectsWeights(t *testing.T) {
+	// Two tenants, weight 3:1, limit 1, both keep a continuous backlog.
+	env := sim.NewEnv(1)
+	q := testController(env, ClassConfig{MaxConcurrency: 1},
+		map[string]float64{"gold": 3, "bronze": 1})
+	served := map[string]int{}
+	for _, tenant := range []string{"gold", "bronze"} {
+		tenant := tenant
+		for i := 0; i < 4; i++ { // 4 closed-loop workers per tenant
+			env.Go(tenant, func(p *sim.Proc) {
+				for {
+					g, err := q.Admit(p, Request{Tenant: tenant, Class: ClassInvoke})
+					if err != nil {
+						return
+					}
+					p.Sleep(time.Millisecond)
+					served[tenant]++
+					g.Release()
+					if p.Now() > sim.Time(200*time.Millisecond) {
+						return
+					}
+				}
+			})
+		}
+	}
+	env.RunUntil(sim.Time(200 * time.Millisecond))
+	total := served["gold"] + served["bronze"]
+	goldShare := float64(served["gold"]) / float64(total)
+	if goldShare < 0.70 || goldShare > 0.80 {
+		t.Errorf("gold share = %.3f (gold=%d bronze=%d), want ~0.75",
+			goldShare, served["gold"], served["bronze"])
+	}
+}
+
+func TestCapacityDerivation(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := cluster.New(env, simnet.New(env, simnet.DC2021), cluster.Config{
+		Racks: 2, NodesPerRack: 2,
+		NodeCap: cluster.Resources{MilliCPU: 4000, MemMB: 8192},
+	})
+	// 1000 mCPU, 1024 MB per op → min(4, 8) = 4 per node × 4 nodes = 16.
+	got := Capacity(cl, cluster.Resources{MilliCPU: 1000, MemMB: 1024})
+	if got != 16 {
+		t.Errorf("Capacity = %d, want 16", got)
+	}
+	if Capacity(nil, cluster.Resources{MilliCPU: 1}) != 0 {
+		t.Error("nil cluster capacity != 0")
+	}
+	if Capacity(cl, cluster.Resources{}) != 0 {
+		t.Error("zero footprint capacity != 0")
+	}
+	q := New(env, cl, Config{Invoke: ClassConfig{PerOp: cluster.Resources{MilliCPU: 1000, MemMB: 1024}}})
+	if q.Limit(ClassInvoke) != 16 {
+		t.Errorf("derived limit = %d, want 16", q.Limit(ClassInvoke))
+	}
+}
+
+func TestCoDelShedsStandingQueue(t *testing.T) {
+	// Limit 1, service 10ms, CoDel target 2ms / interval 20ms, and a
+	// standing backlog: sojourn times sit far above target, so after the
+	// first interval CoDel must begin shedding queued requests.
+	env := sim.NewEnv(1)
+	q := testController(env, ClassConfig{
+		MaxConcurrency: 1,
+		CoDelTarget:    2 * time.Millisecond,
+		CoDelInterval:  20 * time.Millisecond,
+	}, nil)
+	var admitted, shed int
+	for i := 0; i < 40; i++ {
+		i := i
+		env.Go("op", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(i) * time.Millisecond) // 1/ms arrival ramp
+			g, err := q.Admit(p, Request{Class: ClassInvoke})
+			if err != nil {
+				shed++
+				return
+			}
+			admitted++
+			p.Sleep(10 * time.Millisecond)
+			g.Release()
+		})
+	}
+	env.Run()
+	st := q.ClassStats(ClassInvoke)
+	if st.ShedCoDel == 0 {
+		t.Errorf("CoDel shed nothing under a standing queue (admitted=%d shed=%d)", admitted, shed)
+	}
+	if admitted == 0 {
+		t.Error("CoDel shed everything")
+	}
+	if admitted+shed != 40 {
+		t.Errorf("admitted+shed = %d, want 40", admitted+shed)
+	}
+}
+
+func TestInstrumentsWired(t *testing.T) {
+	env := sim.NewEnv(1)
+	q := testController(env, ClassConfig{MaxConcurrency: 1, MaxQueue: 1}, nil)
+	var depth, inflight fakeGauge
+	var delays []sim.Duration
+	var admits, sheds int
+	q.Instrument(ClassInvoke, Instruments{
+		QueueDepth: &depth,
+		InFlight:   &inflight,
+		QueueDelay: observerFunc(func(d sim.Duration) { delays = append(delays, d) }),
+		Admitted:   counterFunc(func() { admits++ }),
+		Shed:       counterFunc(func() { sheds++ }),
+	})
+	for i := 0; i < 4; i++ {
+		env.Go("op", func(p *sim.Proc) {
+			g, err := q.Admit(p, Request{Class: ClassInvoke})
+			if err != nil {
+				return
+			}
+			p.Sleep(time.Millisecond)
+			g.Release()
+		})
+	}
+	env.Run()
+	if admits != 2 || sheds != 2 {
+		t.Errorf("admits=%d sheds=%d, want 2/2", admits, sheds)
+	}
+	if len(delays) != 2 || delays[0] != 0 || delays[1] != time.Millisecond {
+		t.Errorf("delays = %v, want [0 1ms]", delays)
+	}
+	if inflight.level != 0 || inflight.max != 1 {
+		t.Errorf("inflight level=%v max=%v, want 0/1", inflight.level, inflight.max)
+	}
+	if depth.level != 0 || depth.max != 1 {
+		t.Errorf("depth level=%v max=%v, want 0/1", depth.level, depth.max)
+	}
+}
+
+type fakeGauge struct{ level, max float64 }
+
+func (g *fakeGauge) Add(_ int64, d float64) {
+	g.level += d
+	if g.level > g.max {
+		g.max = g.level
+	}
+}
+
+type observerFunc func(sim.Duration)
+
+func (f observerFunc) Observe(d sim.Duration) { f(d) }
+
+type counterFunc func()
+
+func (f counterFunc) Inc() { f() }
+
+func TestClassString(t *testing.T) {
+	if ClassData.String() != "data" || ClassInvoke.String() != "invoke" || ClassTask.String() != "task" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class renders empty")
+	}
+}

@@ -46,6 +46,13 @@ const (
 // ErrAuth is returned when the per-request credential check fails.
 var ErrAuth = errors.New("restbase: authentication failed")
 
+// ErrThrottled is the opaque 429 of §2.1's web-services world: the
+// gateway says only "slow down", carrying no queue state, no retry
+// budget, no per-tenant signal. Clients invariably answer with retries —
+// the amplification loop E13 measures. Contrast qos.ErrOverload, which
+// the retry layer classifies as a final answer.
+var ErrThrottled = errors.New("restbase: too many requests (429)")
+
 // Config tunes a Gateway.
 type Config struct {
 	// Codec marshals requests and responses (JSON for the REST baseline).
@@ -67,6 +74,21 @@ type Config struct {
 	// the JSON envelope (KV-API style), paying marshal cost on every
 	// byte.
 	RawBody bool
+	// Workers bounds the gateway's application worker pool: requests past
+	// connect/auth/routing queue FIFO for a worker. 0 (the default) keeps
+	// the historical unbounded gateway byte-identical.
+	Workers int
+	// AppExec is the per-request application service time a worker spends
+	// beyond the storage op (only meaningful with Workers > 0).
+	AppExec time.Duration
+	// MaxInflight caps workers-in-use plus queued requests; beyond it the
+	// gateway answers ErrThrottled — the opaque 429. 0 = never throttle.
+	MaxInflight int
+	// RejectCost is the worker time spent producing each 429 (the reject
+	// path still parses, authenticates, and formats an error response).
+	// This is what melts real gateways under retry storms: rejections
+	// compete with useful work for the same workers.
+	RejectCost time.Duration
 }
 
 // DefaultConfig returns the REST baseline configuration.
@@ -89,10 +111,15 @@ type Gateway struct {
 	node simnet.NodeID // front door
 	auth simnet.NodeID // auth service
 
+	// workers is the bounded application pool (nil when Workers == 0).
+	workers *sim.Resource
+
 	// Metrics.
 	Requests *metrics.Counter
 	Lat      *metrics.Histogram
 	Meter    *cost.Meter
+	// Throttled counts 429 responses (E13's overload baseline).
+	Throttled *metrics.Counter
 	// AuthChecks counts remote credential validations (E8).
 	AuthChecks int64
 }
@@ -103,17 +130,22 @@ func NewGateway(net *simnet.Network, grp *consistency.Group, cfg Config) *Gatewa
 		cfg.Codec = wire.JSONCodec{}
 	}
 	trace.Of(net.Env()).SetLabel("rest")
-	return &Gateway{
-		cfg:      cfg,
-		env:      net.Env(),
-		net:      net,
-		grp:      grp,
-		node:     net.AddNode(0),
-		auth:     net.AddNode(1),
-		Requests: metrics.NewCounter("rest_requests"),
-		Lat:      metrics.NewHistogram("rest_latency"),
-		Meter:    cost.NewMeter("rest"),
+	g := &Gateway{
+		cfg:       cfg,
+		env:       net.Env(),
+		net:       net,
+		grp:       grp,
+		node:      net.AddNode(0),
+		auth:      net.AddNode(1),
+		Requests:  metrics.NewCounter("rest_requests"),
+		Lat:       metrics.NewHistogram("rest_latency"),
+		Meter:     cost.NewMeter("rest"),
+		Throttled: metrics.NewCounter("rest_throttled"),
 	}
+	if cfg.Workers > 0 {
+		g.workers = g.env.NewResource("rest-workers", int64(cfg.Workers))
+	}
+	return g
 }
 
 // Node returns the gateway's front-door node.
@@ -185,6 +217,31 @@ func (g *Gateway) request(p *sim.Proc, client simnet.NodeID, creds string, reqBo
 	rsp := tr.Start(p, "rest.route", "route")
 	g.route(p)
 	rsp.Close(p)
+	if g.workers != nil {
+		if g.cfg.MaxInflight > 0 && int(g.workers.InUse())+g.workers.Queued() >= g.cfg.MaxInflight {
+			// Opaque 429: the client learns nothing but "slow down". The
+			// rejection still consumes worker time — the request was already
+			// parsed, authenticated, and routed, and the error response must
+			// be formatted — so under a retry storm rejections compete with
+			// useful work for the same pool.
+			g.Throttled.Inc()
+			sp.Annotate(trace.Str("err", "429"))
+			if g.cfg.RejectCost > 0 {
+				g.workers.Acquire(p, 1)
+				p.Sleep(g.cfg.RejectCost)
+				g.workers.Release(1)
+			}
+			g.net.Send(p, g.node, client, 256)
+			return ErrThrottled
+		}
+		wsp := tr.Start(p, "rest.queue", "worker")
+		g.workers.Acquire(p, 1)
+		wsp.Close(p)
+		defer g.workers.Release(1)
+		if g.cfg.AppExec > 0 {
+			p.Sleep(g.cfg.AppExec)
+		}
+	}
 	if err := op(); err != nil {
 		g.net.Send(p, g.node, client, 256)
 		return err

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/faas"
 	"repro/internal/fault"
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -140,6 +141,14 @@ type Executor struct {
 	// bound policy (backoff, deadline, error classification) for every
 	// task invocation. Task.Retries is ignored in that case.
 	Retry *fault.Policy
+	// QoS, when set, gates each task launch through the admission
+	// controller (qos.ClassTask) — a concurrency budget separate from the
+	// per-invocation class, so graph fan-out is bounded before it floods
+	// the invoke path. Overload sheds surface as task errors.
+	QoS *qos.Controller
+	// Tenant names the workload for QoS admission and propagates into
+	// each task's placement hints.
+	Tenant string
 
 	results map[string]*Result
 	done    map[string]*sim.Event
@@ -194,7 +203,7 @@ func (e *Executor) Execute(p *sim.Proc, g *Graph) (map[string]*Result, error) {
 // dependency's span.
 func (e *Executor) runTask(p *sim.Proc, t *Task) {
 	tr := trace.Of(p.Env())
-	hints := faas.PlacementHints{PreferGPUNode: t.PreferGPUNode}
+	hints := faas.PlacementHints{PreferGPUNode: t.PreferGPUNode, Tenant: e.Tenant}
 	var links []trace.SpanID
 	for i, dep := range t.After {
 		wsp := tr.Start(p, "task.wait", "wait:"+dep)
@@ -216,6 +225,15 @@ func (e *Executor) runTask(p *sim.Proc, t *Task) {
 			hints.HasNear = true
 		}
 	}
+	// Dependencies resolved: ask the task class for admission. Shed tasks
+	// fail cleanly (dependents see the overload error) instead of piling
+	// onto the invoke path.
+	grant, qerr := e.QoS.Admit(p, qos.Request{Tenant: e.Tenant, Class: qos.ClassTask})
+	if qerr != nil {
+		e.finish(t, &Result{Task: t, Err: fmt.Errorf("taskgraph: %q rejected: %w", t.Name, qerr)})
+		return
+	}
+	defer grant.Release()
 	res := &Result{Task: t, Start: p.Now()}
 	tsp := tr.StartSpan(p, e.gspan, links, "task", t.Name, trace.Str("fn", t.Fn))
 	ctx := e.Ctx

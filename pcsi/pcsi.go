@@ -42,6 +42,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/object"
 	"repro/internal/platform"
+	"repro/internal/qos"
 	"repro/internal/sim"
 )
 
@@ -97,6 +98,27 @@ type (
 	FaultEvent = fault.Event
 	// FaultSession is an active fault-injection session.
 	FaultSession = fault.Session
+	// QoSConfig configures the admission controller (per-tenant WFQ
+	// weights + per-class limits). Set Options.QoS to enable it; nil
+	// keeps the unguarded data and invoke paths.
+	QoSConfig = qos.Config
+	// QoSClassConfig configures one admission class: concurrency limit
+	// (or a per-op footprint it is derived from), queue bound, queue-delay
+	// budget, and CoDel backpressure.
+	QoSClassConfig = qos.ClassConfig
+	// QoSStats snapshots one class's admission counters.
+	QoSStats = qos.Stats
+)
+
+// ErrOverload is returned by admission-controlled operations when load is
+// shed. It classifies as fatal — retry layers must not amplify overload.
+var ErrOverload = qos.ErrOverload
+
+// Admission classes (for Cloud.QoS().ClassStats).
+const (
+	QoSClassData   = qos.ClassData
+	QoSClassInvoke = qos.ClassInvoke
+	QoSClassTask   = qos.ClassTask
 )
 
 // ActivateFaults installs a process-global fault-injection session; clouds

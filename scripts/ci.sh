@@ -33,4 +33,9 @@ go run ./cmd/pcsictl trace -verify /tmp/t.json
 echo '== chaos smoke (seed sweep with fault injection; exits 1 on invariant violation)'
 go run ./cmd/pcsictl chaos E4 -seeds 5
 
+echo '== E13 overload smoke (QoS holds goodput >= 0.9x capacity, sheds under load; exits 1 on FAIL)'
+go run ./cmd/pcsi-bench -run E13 > /tmp/e13-a.txt
+go run ./cmd/pcsi-bench -run E13 > /tmp/e13-b.txt
+cmp /tmp/e13-a.txt /tmp/e13-b.txt || { echo 'E13 not byte-identical across runs' >&2; exit 1; }
+
 echo 'CI OK'
