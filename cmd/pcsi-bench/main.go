@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/experiments"
@@ -71,7 +72,12 @@ func main() {
 			}
 		}
 		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
 			for id := range want {
+				unknown = append(unknown, id)
+			}
+			sort.Strings(unknown)
+			for _, id := range unknown {
 				fmt.Fprintf(os.Stderr, "pcsi-bench: unknown experiment %q (try -list)\n", id)
 			}
 			os.Exit(2)

@@ -3,11 +3,14 @@
 //
 //	go run ./cmd/pcsi-vet ./...
 //	go run ./cmd/pcsi-vet -only simtime,layering ./internal/...
+//	go run ./cmd/pcsi-vet -format sarif ./... > pcsi-vet.sarif
 //
 // It exits 0 when the tree is clean, 1 when any diagnostic fires, and 2 on
-// usage or load errors. Diagnostics print as file:line:col: check: message.
-// See README.md "Static analysis & invariants" for the checks and the
-// //pcsi:allow directive syntax.
+// usage or load errors. With -format text (the default) diagnostics print
+// as file:line:col: check: message; -format json and -format sarif write a
+// machine-readable document to stdout that is byte-identical across runs
+// on identical input. See README.md "Static analysis & invariants" for the
+// checks and the //pcsi:allow directive syntax.
 package main
 
 import (
@@ -23,11 +26,17 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pcsi-vet [-only names] [-list] [package patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: pcsi-vet [-only names] [-format text|json|sarif] [-list] [package patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "pcsi-vet: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
@@ -64,12 +73,23 @@ func main() {
 	}
 
 	diags := analysis.Run(loader, pkgs, analyzers)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	switch *format {
+	case "json":
+		err = analysis.WriteJSON(os.Stdout, root, loader.Module, analyzers, diags)
+	case "sarif":
+		err = analysis.WriteSARIF(os.Stdout, root, analyzers, diags)
+	default:
+		for _, d := range diags {
+			pos := d.Pos
+			if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s: %s: %s\n", pos, d.Check, d.Message)
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Check, d.Message)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcsi-vet:", err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pcsi-vet: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/experiments"
@@ -245,8 +246,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for k, v := range stats {
-			fmt.Printf("%-12s %s\n", k, v)
+		keys := make([]string, 0, len(stats))
+		for k := range stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-12s %s\n", k, stats[k])
 		}
 	default:
 		usage()

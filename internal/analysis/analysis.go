@@ -2,17 +2,27 @@
 // go/types, no golang.org/x/tools) that enforces this repository's design
 // invariants from DESIGN.md §5: deterministic virtual time, seeded
 // randomness, the substrate→state→compute→core layering, and
-// capability-checked object mutation. The cmd/pcsi-vet CLI runs it over any
-// package pattern, and a self-enforcement test keeps the repo itself clean.
+// capability-checked object mutation. On top of the shallow AST walks, an
+// intraprocedural CFG builder (cfg.go) and a forward-dataflow framework
+// (dataflow.go) power the path- and flow-sensitive checks: maprange
+// (randomized map-iteration order reaching order-sensitive sinks), obsrand
+// (observer random streams confined to the observer domain), errclass
+// (retry-boundary errors must carry a classification), and spanbalance
+// (every trace span closed on every return and panic path). The
+// cmd/pcsi-vet CLI runs it over any package pattern, and a
+// self-enforcement test keeps the repo itself clean.
 //
 // Legitimate exceptions are annotated in the source with a directive:
 //
 //	//pcsi:allow <check> [reason...]
 //
 // where <check> is one of the analyzer directive names (wallclock,
-// globalrand, layering, rawmutation). A directive suppresses its check on
-// the same line and the following line; a directive in the doc comment of a
-// top-level declaration covers the whole declaration.
+// globalrand, layering, rawmutation, maporder, obsrand, errclass,
+// spanleak). A directive suppresses its check on the same line and the
+// following line; a directive in the doc comment of a top-level declaration
+// covers the whole declaration. A directive whose analyzer runs without
+// suppressing anything is itself reported, so stale suppressions cannot
+// accumulate.
 package analysis
 
 import (
@@ -49,7 +59,10 @@ type Analyzer struct {
 
 // All returns the repo's analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{SimTime, DetRand, Layering, CapDiscipline}
+	return []*Analyzer{
+		SimTime, DetRand, Layering, CapDiscipline,
+		MapRange, ObsRand, ErrClass, SpanBalance,
+	}
 }
 
 // Pass carries one analyzer's visit of one package.
@@ -58,14 +71,25 @@ type Pass struct {
 	Fset     *token.FileSet
 	Module   string // module path of the analyzed tree
 	Pkg      *Package
+	// Loader gives whole-program analyzers (errclass) access to every
+	// fully loaded module package, not just the one under the pass.
+	Loader *Loader
+	// Cache is shared across all passes of one Run, for indexes that are
+	// expensive to build and package-independent.
+	Cache map[string]any
 
-	allows map[string][]lineRange // directive keyword -> suppressed ranges per file:line
+	allows map[string][]*allowRange // directive keyword -> suppressed ranges
 	diags  *[]Diagnostic
 }
 
-type lineRange struct {
+// allowRange is the source span one //pcsi:allow directive suppresses. used
+// flips when a diagnostic is actually suppressed, so Run can report stale
+// directives that no longer cover anything.
+type allowRange struct {
 	file       string
 	start, end int
+	pos        token.Position // the directive comment itself
+	used       bool
 }
 
 // RelPath returns the package path relative to the module ("internal/sim"),
@@ -90,6 +114,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	for _, r := range p.allows[p.Analyzer.Directive] {
 		if r.file == position.Filename && position.Line >= r.start && position.Line <= r.end {
+			r.used = true
 			return
 		}
 	}
@@ -98,6 +123,41 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 		Check:   p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// calleeFunc resolves the function or method a call invokes, or nil for
+// calls through function values, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isModuleMethod reports whether fn is the method recv.name declared in the
+// analyzed module's package relPkg ("internal/trace").
+func isModuleMethod(pass *Pass, fn *types.Func, relPkg, recv, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	named := receiverNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pass.Module+"/"+relPkg && named.Obj().Name() == recv
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && receiverNamed(fn) == nil
 }
 
 // directiveKeywords are the recognized //pcsi:allow arguments.
@@ -112,12 +172,17 @@ func directiveKeywords() map[string]bool {
 // collectAllows scans a package's comments for //pcsi:allow directives and
 // returns the suppressed line ranges per keyword. Unknown keywords are
 // reported as diagnostics so typos cannot silently disable a check.
-func collectAllows(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[string][]lineRange {
+func collectAllows(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[string][]*allowRange {
 	known := directiveKeywords()
-	allows := make(map[string][]lineRange)
+	keywords := make([]string, 0, len(known))
+	for k := range known {
+		keywords = append(keywords, k)
+	}
+	sort.Strings(keywords)
+	allows := make(map[string][]*allowRange)
 	for _, f := range pkg.Files {
 		// Doc-comment directives cover their whole declaration.
-		declRange := make(map[*ast.Comment]lineRange)
+		declRange := make(map[*ast.Comment]*allowRange)
 		for _, decl := range f.Decls {
 			var doc *ast.CommentGroup
 			switch d := decl.(type) {
@@ -130,7 +195,7 @@ func collectAllows(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[s
 				continue
 			}
 			for _, c := range doc.List {
-				declRange[c] = lineRange{
+				declRange[c] = &allowRange{
 					file:  fset.Position(decl.Pos()).Filename,
 					start: fset.Position(decl.Pos()).Line,
 					end:   fset.Position(decl.End()).Line,
@@ -163,7 +228,7 @@ func collectAllows(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[s
 					*diags = append(*diags, Diagnostic{
 						Pos:     fset.Position(c.Pos()),
 						Check:   "directive",
-						Message: "//pcsi:allow needs a check name (wallclock, globalrand, layering, rawmutation)",
+						Message: fmt.Sprintf("//pcsi:allow needs a check name (%s)", strings.Join(keywords, ", ")),
 					})
 					continue
 				}
@@ -188,8 +253,9 @@ func collectAllows(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[s
 					if e := lastLine[pos.Line+1]; e > end {
 						end = e
 					}
-					r = lineRange{file: pos.Filename, start: pos.Line, end: end}
+					r = &allowRange{file: pos.Filename, start: pos.Line, end: end}
 				}
+				r.pos = fset.Position(c.Pos())
 				allows[keyword] = append(allows[keyword], r)
 			}
 		}
@@ -200,9 +266,16 @@ func collectAllows(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[s
 // Run applies the analyzers to every package and returns the combined
 // diagnostics sorted by position. Type errors in the analyzed packages are
 // reported as "typecheck" diagnostics: the invariants cannot be trusted on
-// code that does not compile.
+// code that does not compile. After the analyzers finish, //pcsi:allow
+// directives whose analyzer ran but which suppressed nothing are reported
+// as "directive" diagnostics, so suppressions cannot rot in place.
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	cache := make(map[string]any)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Directive] = true
+	}
 	for _, pkg := range pkgs {
 		for _, err := range pkg.TypeErrors {
 			msg := err.Error()
@@ -220,10 +293,33 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Fset:     l.Fset,
 				Module:   l.Module,
 				Pkg:      pkg,
+				Loader:   l,
+				Cache:    cache,
 				allows:   allows,
 				diags:    &diags,
 			}
 			a.Run(pass)
+		}
+		// Stale suppressions: only judged for analyzers that actually ran,
+		// so a -only subset never flags directives it could not exercise.
+		keywords := make([]string, 0, len(allows))
+		for k := range allows {
+			keywords = append(keywords, k)
+		}
+		sort.Strings(keywords)
+		for _, k := range keywords {
+			if !ran[k] {
+				continue
+			}
+			for _, r := range allows[k] {
+				if !r.used {
+					diags = append(diags, Diagnostic{
+						Pos:     r.pos,
+						Check:   "directive",
+						Message: fmt.Sprintf("unused //pcsi:allow %s: no %s finding is suppressed by this directive; delete it", k, k),
+					})
+				}
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -220,3 +220,54 @@ func TestDiagnosticsSorted(t *testing.T) {
 		t.Error("diagnostics not sorted by position")
 	}
 }
+
+// TestSpanLeakExactPositions pins file:line:column for the spanbalance
+// fixture: reports must anchor on the leaking return/panic/discard site and
+// name the line the span was opened on.
+func TestSpanLeakExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "bad/spanleak/spanleak.go" {
+			continue
+		}
+		where := "discarded"
+		if i := strings.Index(d.Message, "opened at line "); i >= 0 {
+			where = afterPrefix(d.Message[i:], "opened at line ")
+		}
+		got = append(got, fmt.Sprintf("%d:%d:%s:%s", d.Pos.Line, d.Pos.Column, d.Check, where))
+	}
+	want := []string{
+		"15:3:spanbalance:13", // early return leaks the span from line 13
+		"22:2:spanbalance:discarded",
+		"29:3:spanbalance:27", // panic path leaks the span from line 27
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spanleak positions:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestMapOrderExactPositions pins file:line:column for the maprange
+// fixture: rule 1 anchors on the for keyword, rule 2 on the sink call, and
+// rule 3 on the first tainted append.
+func TestMapOrderExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "bad/maporder/maporder.go" {
+			continue
+		}
+		got = append(got, fmt.Sprintf("%d:%d:%s", d.Pos.Line, d.Pos.Column, d.Check))
+	}
+	want := []string{
+		"16:2:maprange", // rule 1: arbitrary pick, at the for keyword
+		"36:3:maprange", // rule 2: fmt.Println sink
+		"44:3:maprange", // rule 2: Proc.Sleep sink
+		"52:9:maprange", // rule 3: unsorted append
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("maporder positions:\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,414 @@
+package analysis
+
+// cfg.go builds intraprocedural control-flow graphs over go/ast function
+// bodies, using only syntax plus go/types identifier resolution. The graph
+// is deliberately small: basic blocks of statement-level nodes connected by
+// successor edges, with enough structure for the forward-dataflow framework
+// in dataflow.go (spanbalance, maprange) to reason about paths — returns,
+// explicit panics, loop back edges — without simulating expressions.
+//
+// Granularity: a block's nodes are statements, except that compound
+// statements contribute only their header parts (init statements,
+// conditions, a range statement's key/value binding); their bodies become
+// separate blocks. Analyzers walking a CFG node's subtree must therefore
+// use inspectShallow, which does not descend into nested bodies or function
+// literals (each function literal gets its own CFG).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// block is one basic block: nodes executed in sequence, then a transfer of
+// control to one of succs. preds counts incoming edges (the entry block
+// starts at one); a block with zero preds is unreachable and contributes no
+// outgoing edges, so dead code after return/panic never pollutes the flow.
+type block struct {
+	nodes []ast.Node
+	succs []*block
+	preds int
+}
+
+// rangeInfo records the shape of one range loop so analyzers can ask
+// structural questions. backEdge reports whether the loop body can complete
+// an iteration and come back for another: a body that always breaks,
+// returns, or panics on its first pass (backEdge == false) consumes only
+// the first element the map iterator yields.
+type rangeInfo struct {
+	head     *block
+	after    *block
+	backEdge bool
+}
+
+// cfg is the control-flow graph of one function body. blocks[0] is the
+// entry. final is the block where control falls off the closing brace;
+// finalLive reports whether that implicit return is reachable.
+type cfg struct {
+	blocks    []*block
+	final     *block
+	finalLive bool
+	ranges    map[*ast.RangeStmt]*rangeInfo
+}
+
+// buildCFG constructs the graph for one function body. info resolves
+// identifiers so that terminating calls (panic, os.Exit, t.Fatal, ...) end
+// their block even when the syntax alone cannot tell.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *cfg {
+	g := &cfg{ranges: make(map[*ast.RangeStmt]*rangeInfo)}
+	b := &cfgBuilder{
+		g:      g,
+		info:   info,
+		brk:    make(map[string]*block),
+		cont:   make(map[string]*block),
+		labels: make(map[string]*block),
+	}
+	b.cur = b.newBlock()
+	b.cur.preds = 1 // entry
+	b.stmtList(body.List)
+	g.final = b.cur
+	g.finalLive = b.cur.preds > 0
+	return g
+}
+
+type cfgBuilder struct {
+	g    *cfg
+	info *types.Info
+	cur  *block
+
+	// brk and cont map labels to break/continue targets; key "" is the
+	// innermost enclosing loop or switch. labels maps label names to the
+	// blocks goto jumps to. fall is the next case body for fallthrough.
+	brk    map[string]*block
+	cont   map[string]*block
+	labels map[string]*block
+	fall   *block
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// jump adds an edge from -> to unless from is unreachable.
+func (b *cfgBuilder) jump(from, to *block) {
+	if from.preds == 0 {
+		return
+	}
+	from.succs = append(from.succs, to)
+	to.preds++
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock()
+	case *ast.ExprStmt:
+		b.add(s)
+		if callTerminates(b.info, s.X) {
+			b.cur = b.newBlock()
+		}
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(b.cur, lb)
+		b.cur = lb
+		b.labeledStmt(s.Label.Name, s.Stmt)
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.brk[label]; t != nil {
+				b.jump(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.cont[label]; t != nil {
+				b.jump(b.cur, t)
+			}
+		case token.GOTO:
+			b.jump(b.cur, b.labelBlock(label))
+		case token.FALLTHROUGH:
+			if b.fall != nil {
+				b.jump(b.cur, b.fall)
+			}
+		}
+		b.cur = b.newBlock()
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, "", false)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Body, "", false)
+	case *ast.SelectStmt:
+		b.switchStmt(nil, nil, s.Body, "", true)
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec, empty:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// labeledStmt builds a labeled statement, wiring the label to the inner
+// construct's break/continue targets when it is a loop or switch.
+func (b *cfgBuilder) labeledStmt(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, label, false)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Body, label, false)
+	case *ast.SelectStmt:
+		b.switchStmt(nil, nil, s.Body, label, true)
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) labelBlock(name string) *block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock()
+	b.jump(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	after := b.newBlock()
+	if s.Else != nil {
+		els := b.newBlock()
+		b.jump(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(b.cur, after)
+	} else {
+		b.jump(cond, after)
+	}
+	b.jump(thenEnd, after)
+	b.cur = after
+}
+
+// pushLoop installs break/continue targets for a loop (label may be "")
+// and returns a closure restoring the previous targets.
+func (b *cfgBuilder) pushLoop(label string, brk, cont *block) func() {
+	prevB, prevC := b.brk[""], b.cont[""]
+	b.brk[""], b.cont[""] = brk, cont
+	var prevLB, prevLC *block
+	if label != "" {
+		prevLB, prevLC = b.brk[label], b.cont[label]
+		b.brk[label], b.cont[label] = brk, cont
+	}
+	return func() {
+		b.brk[""], b.cont[""] = prevB, prevC
+		if label != "" {
+			b.brk[label], b.cont[label] = prevLB, prevLC
+		}
+	}
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.jump(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	if s.Cond != nil {
+		b.jump(head, after)
+	}
+	cont := head
+	if s.Post != nil {
+		cont = b.newBlock()
+	}
+	body := b.newBlock()
+	b.jump(head, body)
+	restore := b.pushLoop(label, after, cont)
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(b.cur, cont)
+	restore()
+	if s.Post != nil {
+		b.cur = cont
+		b.add(s.Post)
+		b.jump(cont, head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.jump(b.cur, head)
+	b.cur = head
+	b.add(s) // header node: evaluates X, binds Key/Value each iteration
+	after := b.newBlock()
+	b.jump(head, after)
+	body := b.newBlock()
+	b.jump(head, body)
+	entryPreds := head.preds
+	restore := b.pushLoop(label, after, head)
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(b.cur, head)
+	restore()
+	b.g.ranges[s] = &rangeInfo{head: head, after: after, backEdge: head.preds > entryPreds}
+	b.cur = after
+}
+
+// switchStmt builds switch, type-switch (tag == nil, init carries Assign),
+// and select (isSelect) statements. For select, falling past every clause
+// is impossible: with no default the statement blocks until a case fires.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, label string, isSelect bool) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	after := b.newBlock()
+	// Break targets after; continue keeps targeting the enclosing loop.
+	restore := b.pushLoop(label, after, b.cont[""])
+
+	// Create clause bodies first so fallthrough can target the next one.
+	clauseBlocks := make([]*block, len(body.List))
+	hasDefault := false
+	for i := range body.List {
+		clauseBlocks[i] = b.newBlock()
+		b.jump(head, clauseBlocks[i])
+	}
+	for i, cs := range body.List {
+		b.fall = nil
+		if i+1 < len(clauseBlocks) {
+			b.fall = clauseBlocks[i+1]
+		}
+		b.cur = clauseBlocks[i]
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			b.stmtList(cs.Body)
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(cs.Comm)
+			}
+			b.stmtList(cs.Body)
+		}
+		b.jump(b.cur, after)
+	}
+	b.fall = nil
+	restore()
+	// Without a default, a switch can skip every clause; a select blocks
+	// instead, and an empty select blocks forever.
+	if !isSelect && !hasDefault {
+		b.jump(head, after)
+	}
+	b.cur = after
+}
+
+// inspectShallow walks root's subtree like ast.Inspect but does not descend
+// into function literal bodies: when root is a CFG node, statements inside
+// a nested func literal belong to that literal's own CFG. When root is a
+// range statement it visits only the header (X, Key, Value), since the body
+// lives in separate blocks.
+func inspectShallow(root ast.Node, f func(ast.Node) bool) {
+	if r, ok := root.(*ast.RangeStmt); ok {
+		for _, e := range []ast.Expr{r.X, r.Key, r.Value} {
+			if e != nil {
+				inspectShallow(e, f)
+			}
+		}
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit != root {
+			f(n)
+			return false
+		}
+		return f(n)
+	})
+}
+
+// terminators are functions that never return, beyond the panic builtin.
+var terminators = stringSet(
+	"os.Exit", "runtime.Goexit",
+	"log.Fatal", "log.Fatalf", "log.Fatalln",
+	"log.Panic", "log.Panicf", "log.Panicln",
+	"(*testing.common).Fatal", "(*testing.common).Fatalf",
+	"(*testing.common).FailNow", "(*testing.common).SkipNow",
+	"(*testing.common).Skip", "(*testing.common).Skipf",
+)
+
+// callTerminates reports whether e is a call that never returns.
+func callTerminates(info *types.Info, e ast.Expr) bool {
+	if isPanicCall(info, e) {
+		return true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && terminators[fn.FullName()]
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := info.Uses[id].(*types.Builtin)
+	return ok && bi.Name() == "panic"
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typedFunc parses src as a full file and returns the body and type info of
+// the function named name.
+func typedFunc(t *testing.T, src, name string) (*ast.BlockStmt, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Error: func(error) {}}
+	conf.Check("x", fset, []*ast.File{f}, info)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+			return fd.Body, info
+		}
+	}
+	t.Fatalf("no function %q in source", name)
+	return nil, nil
+}
+
+// oneRange returns the single rangeInfo of a function's CFG.
+func oneRange(t *testing.T, g *cfg) *rangeInfo {
+	t.Helper()
+	if len(g.ranges) != 1 {
+		t.Fatalf("CFG has %d range loops, want 1", len(g.ranges))
+	}
+	//pcsi:allow maporder the map has exactly one entry (asserted above).
+	for _, ri := range g.ranges {
+		return ri
+	}
+	return nil
+}
+
+const cfgSrc = `package x
+
+func full(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func pick(m map[string]int) int {
+	for _, v := range m {
+		return v
+	}
+	return 0
+}
+
+func breaks(m map[string]int) {
+	for k := range m {
+		_ = k
+		break
+	}
+}
+
+func condBreak(m map[string]int) {
+	for k := range m {
+		if k == "stop" {
+			break
+		}
+	}
+}
+
+func panics(m map[string]int) {
+	for k := range m {
+		panic(k)
+	}
+}
+
+func falls() { _ = 1 }
+
+func returns() int { return 1 }
+
+func exits() {
+	panic("no fall-through")
+}
+`
+
+// TestCFGRangeBackEdge pins the back-edge classification rule 1 of maprange
+// rests on: a body that can complete an iteration has a back edge; a body
+// that always leaves the loop on its first pass does not.
+func TestCFGRangeBackEdge(t *testing.T) {
+	cases := []struct {
+		fn   string
+		want bool
+	}{
+		{"full", true},      // plain accumulation loops
+		{"pick", false},     // always returns on first element
+		{"breaks", false},   // always breaks on first element
+		{"condBreak", true}, // break is conditional: loop may iterate
+		{"panics", false},   // always panics on first element
+	}
+	for _, c := range cases {
+		body, info := typedFunc(t, cfgSrc, c.fn)
+		ri := oneRange(t, buildCFG(body, info))
+		if ri.backEdge != c.want {
+			t.Errorf("%s: backEdge = %v, want %v", c.fn, ri.backEdge, c.want)
+		}
+	}
+}
+
+// TestCFGFinalLive pins reachability of the implicit return at the closing
+// brace, which finalFacts (and so every leak-at-end report) keys on.
+func TestCFGFinalLive(t *testing.T) {
+	cases := []struct {
+		fn   string
+		want bool
+	}{
+		{"falls", true},    // straight-line code reaches the brace
+		{"returns", false}, // explicit return on every path
+		{"exits", false},   // panic on every path
+		{"full", false},    // loop then return
+		{"breaks", true},   // break lands after the loop, then the brace
+	}
+	for _, c := range cases {
+		body, info := typedFunc(t, cfgSrc, c.fn)
+		g := buildCFG(body, info)
+		if g.finalLive != c.want {
+			t.Errorf("%s: finalLive = %v, want %v", c.fn, g.finalLive, c.want)
+		}
+	}
+}
+
+// TestCFGDeadCode asserts statements after a terminator land in an
+// unreachable block that contributes no edges.
+func TestCFGDeadCode(t *testing.T) {
+	src := `package x
+func dead() int {
+	return 1
+	return 2
+}`
+	body, info := typedFunc(t, src, "dead")
+	g := buildCFG(body, info)
+	if g.finalLive {
+		t.Error("finalLive after unconditional return")
+	}
+	reachable := 0
+	for _, blk := range g.blocks {
+		if blk.preds > 0 {
+			reachable++
+		}
+	}
+	if reachable != 1 {
+		t.Errorf("%d reachable blocks, want 1 (entry only)", reachable)
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+// dataflow.go is a forward may-analysis framework over the CFGs of cfg.go.
+// An analyzer supplies a transfer function — the gen/kill effect of one CFG
+// node on a set of facts — and the framework iterates the per-block
+// equations IN[b] = ⋃ OUT[pred], OUT[b] = transfer*(IN[b]) to a fixpoint.
+// Facts are arbitrary comparable values (typically a *types.Var or a small
+// struct keyed by one); the join is set union, so a fact holds at a point
+// if it holds on ANY path reaching it. Transfer functions must be monotone:
+// out = (in − kill(n)) ∪ gen(n, in) with gen non-decreasing in `in`, which
+// guarantees termination because the fact domain of one function is finite.
+
+import "go/ast"
+
+// factSet is a set of dataflow facts. Keys must be comparable.
+type factSet map[any]bool
+
+func (s factSet) clone() factSet {
+	c := make(factSet, len(s))
+	for f := range s {
+		c[f] = true
+	}
+	return c
+}
+
+// transferFn is the gen/kill effect of one CFG node: given the facts
+// holding immediately before n, it returns the facts holding after. It must
+// be pure (no reporting — diagnostics come from a replay pass) and may
+// return its argument unchanged when n has no effect.
+type transferFn func(n ast.Node, in factSet) factSet
+
+// blockOut folds the transfer function over a block's nodes.
+func blockOut(blk *block, in factSet, tf transferFn) factSet {
+	out := in
+	for _, n := range blk.nodes {
+		out = tf(n, out)
+	}
+	return out
+}
+
+// forwardDataflow computes each block's entry fact set by fixpoint
+// iteration. Unreachable blocks keep empty sets. The result is independent
+// of iteration order (union is commutative), so the map-based worklist is
+// deterministic in effect even though Go randomizes map iteration.
+func forwardDataflow(g *cfg, tf transferFn) map[*block]factSet {
+	in := make(map[*block]factSet, len(g.blocks))
+	for _, blk := range g.blocks {
+		in[blk] = factSet{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.blocks {
+			if blk.preds == 0 && blk != g.blocks[0] {
+				continue
+			}
+			out := blockOut(blk, in[blk].clone(), tf)
+			for _, succ := range blk.succs {
+				dst := in[succ]
+				for f := range out {
+					if !dst[f] {
+						dst[f] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+// replay re-runs the converged solution node by node, calling visit with
+// the facts holding immediately BEFORE each node executes. Blocks are
+// visited in creation order (≈ source order), so diagnostics emitted from
+// visit come out deterministically.
+func replay(g *cfg, in map[*block]factSet, tf transferFn, visit func(n ast.Node, before factSet)) {
+	for _, blk := range g.blocks {
+		if blk.preds == 0 && blk != g.blocks[0] {
+			continue
+		}
+		facts := in[blk].clone()
+		for _, n := range blk.nodes {
+			visit(n, facts)
+			facts = tf(n, facts)
+		}
+	}
+}
+
+// finalFacts returns the facts holding at the function's closing brace, or
+// nil when control cannot fall off the end.
+func finalFacts(g *cfg, in map[*block]factSet, tf transferFn) factSet {
+	if !g.finalLive {
+		return nil
+	}
+	return blockOut(g.final, in[g.final].clone(), tf)
+}
+
+// funcBodies yields every function body in the file in source order: each
+// declared function and each function literal, so analyses stay strictly
+// intraprocedural (a literal's body is analyzed as its own function, with
+// its own CFG).
+func funcBodies(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Name.Name, n.Body)
+			}
+		case *ast.FuncLit:
+			fn("func literal", n.Body)
+		}
+		return true
+	})
+}

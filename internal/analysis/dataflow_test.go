@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// assigned is the toy fact used by these tests: variable name has been
+// assigned on some path.
+type assigned struct{ name string }
+
+// assignTransfer gens assigned{x} for every `x = ...` / `x := ...` node.
+func assignTransfer(n ast.Node, in factSet) factSet {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return in
+	}
+	out := in.clone()
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			out[assigned{id.Name}] = true
+		}
+	}
+	return out
+}
+
+// TestForwardDataflowJoin asserts the may-analysis union: a fact generated
+// on one branch of an if holds after the join.
+func TestForwardDataflowJoin(t *testing.T) {
+	src := `package x
+func f(c bool) {
+	var a, b int
+	if c {
+		a = 1
+	} else {
+		b = 2
+	}
+	return
+}`
+	body, info := typedFunc(t, src, "f")
+	g := buildCFG(body, info)
+	in := forwardDataflow(g, assignTransfer)
+
+	var atReturn factSet
+	replay(g, in, assignTransfer, func(n ast.Node, before factSet) {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			atReturn = before.clone()
+		}
+	})
+	if atReturn == nil {
+		t.Fatal("replay never visited the return")
+	}
+	for _, name := range []string{"a", "b"} {
+		if !atReturn[assigned{name}] {
+			t.Errorf("fact assigned{%s} missing after join", name)
+		}
+	}
+}
+
+// TestForwardDataflowLoop asserts facts generated inside a loop body flow
+// around the back edge to the loop header and past the loop.
+func TestForwardDataflowLoop(t *testing.T) {
+	src := `package x
+func f(n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+	}
+	_ = x
+}`
+	body, info := typedFunc(t, src, "f")
+	g := buildCFG(body, info)
+	in := forwardDataflow(g, assignTransfer)
+	final := finalFacts(g, in, assignTransfer)
+	if final == nil {
+		t.Fatal("control must reach the end of f")
+	}
+	for _, name := range []string{"x", "i"} {
+		if !final[assigned{name}] {
+			t.Errorf("fact assigned{%s} missing at function end", name)
+		}
+	}
+}
+
+// TestFinalFactsUnreachable asserts finalFacts reports nil when every path
+// returns before the closing brace.
+func TestFinalFactsUnreachable(t *testing.T) {
+	src := `package x
+func f() int {
+	x := 1
+	return x
+}`
+	body, info := typedFunc(t, src, "f")
+	g := buildCFG(body, info)
+	in := forwardDataflow(g, assignTransfer)
+	if final := finalFacts(g, in, assignTransfer); final != nil {
+		t.Errorf("finalFacts = %v, want nil for always-returning body", final)
+	}
+}
+
+// TestReplaySkipsDeadBlocks asserts replay never visits unreachable nodes,
+// so analyzers cannot report on dead code.
+func TestReplaySkipsDeadBlocks(t *testing.T) {
+	src := `package x
+func f() int {
+	return 1
+	x := 2
+	return x
+}`
+	body, info := typedFunc(t, src, "f")
+	g := buildCFG(body, info)
+	in := forwardDataflow(g, assignTransfer)
+	replay(g, in, assignTransfer, func(n ast.Node, _ factSet) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			t.Errorf("replay visited dead assignment %v", as.Lhs)
+		}
+	})
+}

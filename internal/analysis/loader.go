@@ -182,6 +182,23 @@ func (l *Loader) loadFull(path string) (*Package, error) {
 	return p, nil
 }
 
+// FullPackages returns every module package fully loaded so far (targets
+// and module-internal dependencies alike, with function bodies), sorted by
+// import path. Whole-program analyzers use it to build cross-package
+// indexes; it must be called after Load so the set is complete.
+func (l *Loader) FullPackages() []*Package {
+	paths := make([]string, 0, len(l.full))
+	for path := range l.full {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkgs = append(pkgs, l.full[path])
+	}
+	return pkgs
+}
+
 func (l *Loader) parse(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
 	var files []*ast.File
 	for _, name := range names {

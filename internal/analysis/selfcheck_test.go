@@ -36,3 +36,33 @@ func TestRepoInvariants(t *testing.T) {
 		t.Errorf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 	}
 }
+
+// TestAnalyzerRegistry pins the analyzer roster: all eight checks present,
+// with unique names, unique suppression keywords, docs, and Run hooks —
+// so a registry edit cannot silently drop a check from pcsi-vet, the CI
+// gate, and TestRepoInvariants at once.
+func TestAnalyzerRegistry(t *testing.T) {
+	all := All()
+	wantNames := []string{
+		"simtime", "detrand", "layering", "capdiscipline",
+		"maprange", "obsrand", "errclass", "spanbalance",
+	}
+	if len(all) != len(wantNames) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(wantNames))
+	}
+	names := make(map[string]bool)
+	directives := make(map[string]bool)
+	for i, a := range all {
+		if a.Name != wantNames[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, wantNames[i])
+		}
+		if names[a.Name] || directives[a.Directive] {
+			t.Errorf("duplicate analyzer name/directive %q/%q", a.Name, a.Directive)
+		}
+		names[a.Name] = true
+		directives[a.Directive] = true
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing Doc or Run", a.Name)
+		}
+	}
+}

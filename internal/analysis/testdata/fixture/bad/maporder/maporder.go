@@ -1,0 +1,65 @@
+// Package maporder consumes randomized map-iteration order in each of the
+// three ways the maprange analyzer rejects, next to the sanctioned
+// counterpart of each shape, which must stay diagnostic-free.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"fixture/internal/sim"
+)
+
+// ArbitraryPick returns on the first iteration, consuming one arbitrary
+// element of a randomized order (rule 1).
+func ArbitraryPick(m map[string]int) string {
+	for k := range m { // want: maprange
+		return k
+	}
+	return ""
+}
+
+// SmallestPick examines every element before choosing: no diagnostic.
+func SmallestPick(m map[string]int) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// PrintAll emits output in randomized order (rule 2, fmt sink).
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want: maprange
+	}
+}
+
+// SleepPerEntry schedules virtual-time effects in randomized order
+// (rule 2, module scheduling sink).
+func SleepPerEntry(p *sim.Proc, m map[string]int64) {
+	for _, d := range m {
+		p.Sleep(d) // want: maprange
+	}
+}
+
+// Keys hands a randomly ordered slice to the caller (rule 3).
+func Keys(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k) // want: maprange
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned append-then-sort idiom: no diagnostic.
+func SortedKeys(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

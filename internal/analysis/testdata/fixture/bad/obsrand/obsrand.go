@@ -1,0 +1,20 @@
+// Package obsrand draws from the observer random stream in
+// workload-visible code, which would make observed and unobserved runs
+// diverge; only fault, trace, and qos may touch it.
+package obsrand
+
+import (
+	"math/rand"
+
+	"fixture/internal/sim"
+)
+
+// Pick makes a workload decision from the observer stream: flagged.
+func Pick(env *sim.Env) int {
+	return env.ObserverRand("pick").Intn(4) // want: obsrand
+}
+
+// Legit draws from the workload streams: no diagnostic.
+func Legit(env *sim.Env) (int, *rand.Rand) {
+	return env.Rand().Intn(4), env.ForkRand("worker")
+}

@@ -1,0 +1,42 @@
+// Package spanleak opens trace spans and loses them on some control-flow
+// path; the spanbalance analyzer reports the leaking return, panic, and
+// discard sites.
+package spanleak
+
+import (
+	"fixture/internal/sim"
+	"fixture/internal/trace"
+)
+
+// EarlyReturn leaks sp on the ok branch.
+func EarlyReturn(p *sim.Proc, tr *trace.Tracer, ok bool) {
+	sp := tr.Start(p, "cat", "early")
+	if ok {
+		return // want: spanbalance
+	}
+	sp.Close(p)
+}
+
+// Discarded never binds the span, so nothing can ever close it.
+func Discarded(p *sim.Proc, tr *trace.Tracer) {
+	tr.Start(p, "cat", "drop") // want: spanbalance
+}
+
+// PanicPath leaks sp when the explicit panic fires.
+func PanicPath(p *sim.Proc, tr *trace.Tracer, bad bool) {
+	sp := tr.StartSpan(p, nil, "cat", "panicky")
+	if bad {
+		panic("spanleak: boom") // want: spanbalance
+	}
+	sp.Close(p)
+}
+
+// DeferClose is the sanctioned shape — the deferred Close discharges every
+// path, including the early return: no diagnostic.
+func DeferClose(p *sim.Proc, tr *trace.Tracer, ok bool) {
+	sp := tr.Start(p, "cat", "balanced")
+	defer sp.Close(p)
+	if ok {
+		return
+	}
+}

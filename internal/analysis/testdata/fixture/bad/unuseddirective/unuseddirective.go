@@ -1,0 +1,15 @@
+// Package unuseddirective carries a suppression that no longer suppresses
+// anything; the framework reports the stale directive itself so dead
+// //pcsi:allow annotations cannot accumulate.
+package unuseddirective
+
+// Sum is clean code under a stale doc-comment directive.
+//
+//pcsi:allow maporder nothing here ranges over a map anymore // want: directive
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,8 +1,47 @@
 // Package faas is a miniature stand-in for the compute layer. Importing the
-// cross-cutting tracer is legal from any layer, so no diagnostic here.
+// cross-cutting tracer is legal from any layer, so no diagnostic for that —
+// but faas is a retry-boundary package, so the errclass analyzer audits
+// every error it declares.
 package faas
 
-import "fixture/internal/trace"
+import (
+	"errors"
+
+	"fixture/internal/fault"
+	"fixture/internal/trace"
+)
+
+// Classified constructions pass: the initializer is fault.Fatal/Transient.
+var (
+	ErrFatalOK     = fault.Fatal("faas: fatal ok")
+	ErrTransientOK = fault.Transient("faas: transient ok")
+)
+
+// ErrListed passes because DefaultRetryable below mentions it.
+var ErrListed = errors.New("faas: listed in a classifier")
+
+// ErrOops carries no classification anywhere: flagged.
+var ErrOops = errors.New("faas: unclassified") // want: errclass
+
+// ShedError classifies itself through fault.Classified: passes.
+type ShedError struct{ N int }
+
+func (e *ShedError) Error() string   { return "faas: shed" }
+func (e *ShedError) Retryable() bool { return false }
+
+// PlainError implements error but carries no classification: flagged.
+type PlainError struct{ Code int } // want: errclass
+
+func (e *PlainError) Error() string { return "faas: plain" }
+
+// DefaultRetryable is a classifier (func(error) bool); mentioning ErrListed
+// here is what clears it above.
+func DefaultRetryable(err error) bool {
+	if errors.Is(err, ErrListed) {
+		return true
+	}
+	return fault.Retryable(err)
+}
 
 // Invoke is a placeholder compute entry point.
 func Invoke(name string) string {

@@ -16,3 +16,32 @@ type Injector struct {
 
 // Touch keeps the imports used.
 func (in *Injector) Touch() { in.c.Inc() }
+
+// Classified is implemented by errors carrying their own retry
+// classification; the errclass analyzer resolves it by name.
+type Classified interface {
+	Retryable() bool
+}
+
+// classed is the comparable classified sentinel behind Fatal/Transient.
+type classed struct {
+	msg   string
+	retry bool
+}
+
+func (e classed) Error() string   { return e.msg }
+func (e classed) Retryable() bool { return e.retry }
+
+// Fatal returns a non-retryable sentinel.
+func Fatal(msg string) error { return classed{msg: msg} }
+
+// Transient returns a retryable sentinel.
+func Transient(msg string) error { return classed{msg: msg, retry: true} }
+
+// Retryable is the stub substrate classifier.
+func Retryable(err error) bool {
+	if c, ok := err.(Classified); ok {
+		return c.Retryable()
+	}
+	return false
+}

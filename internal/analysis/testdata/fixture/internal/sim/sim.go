@@ -15,3 +15,26 @@ func NewEnv(seed int64) *Env {
 
 // Rand returns the deterministic stream.
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// ForkRand derives a labeled workload stream (stub).
+func (e *Env) ForkRand(label string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(len(label))))
+}
+
+// ObserverRand derives a labeled observer stream (stub). Only the
+// observer-domain packages may call it; the obsrand analyzer enforces that.
+func (e *Env) ObserverRand(label string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(len(label)) + 1))
+}
+
+// Proc is a stub simulated process.
+type Proc struct {
+	env *Env
+}
+
+// Sleep advances virtual time (stub). It is an order-sensitive scheduling
+// effect for the maprange analyzer.
+func (p *Proc) Sleep(d int64) {}
+
+// Go launches a stub process synchronously.
+func (e *Env) Go(name string, fn func(*Proc)) { fn(&Proc{env: e}) }

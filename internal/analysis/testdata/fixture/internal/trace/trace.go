@@ -15,3 +15,19 @@ type Span struct {
 
 // Touch keeps the imports used.
 func (s *Span) Touch() { s.c.Inc() }
+
+// Close ends the span (stub). The spanbalance analyzer requires it on
+// every return and panic path of the function that Started the span.
+func (s *Span) Close(p *sim.Proc) {}
+
+// Tracer is a placeholder tracer.
+type Tracer struct{}
+
+// Of returns env's tracer (stub: a fresh one).
+func Of(env *sim.Env) *Tracer { return &Tracer{} }
+
+// Start opens a span.
+func (t *Tracer) Start(p *sim.Proc, cat, name string) *Span { return &Span{} }
+
+// StartSpan opens a child span.
+func (t *Tracer) StartSpan(p *sim.Proc, parent *Span, cat, name string) *Span { return &Span{} }

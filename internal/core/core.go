@@ -23,6 +23,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/capability"
 	"repro/internal/cluster"
@@ -376,27 +377,33 @@ func (r Ref) Level() consistency.Level { return r.lvl }
 // String renders the reference.
 func (r Ref) String() string { return fmt.Sprintf("pcsi-%v[%v]", r.cap.Object(), r.cap.Rights()) }
 
-// Errors returned by the PCSI API.
+// Errors returned by the PCSI API. Both are answers, not conditions:
+// retrying an invalid reference or an unknown function re-asks a question
+// the system already answered, so they classify as fatal.
 var (
-	ErrInvalidRef = errors.New("core: invalid reference")
-	ErrNoSuchFn   = errors.New("core: unknown function")
+	ErrInvalidRef = fault.Fatal("core: invalid reference")
+	ErrNoSuchFn   = fault.Fatal("core: unknown function")
 )
 
-// namespaceRoots contributes registered namespace roots to the GC.
+// namespaceRoots contributes registered namespace roots to the GC, in
+// sorted order so the mark phase's visit order is run-independent.
 func (c *Cloud) namespaceRoots() []object.ID {
 	out := make([]object.ID, 0, len(c.nsRoots))
 	for id := range c.nsRoots {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// functionRoots keeps registered function code objects alive.
+// functionRoots keeps registered function code objects alive, in sorted
+// order for the same reason as namespaceRoots.
 func (c *Cloud) functionRoots() []object.ID {
 	out := make([]object.ID, 0, len(c.fnRefs))
 	for _, r := range c.fnRefs {
 		out = append(out, r.cap.Object())
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

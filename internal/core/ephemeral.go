@@ -1,9 +1,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/sim"
@@ -20,8 +20,9 @@ import (
 // co-scheduled, data movement drops to zero network bytes (§4.1).
 
 // ErrEphemeralNS is returned when binding an ephemeral object into a
-// namespace, which only persists durable objects.
-var ErrEphemeralNS = errors.New("core: ephemeral objects cannot be bound into namespaces")
+// namespace, which only persists durable objects. Fatal: the binding is
+// wrong by construction and no retry changes that.
+var ErrEphemeralNS = fault.Fatal("core: ephemeral objects cannot be bound into namespaces")
 
 // ephemBase offsets ephemeral IDs far above the replicated ID space.
 const ephemBase object.ID = 1 << 40

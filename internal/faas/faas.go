@@ -11,10 +11,12 @@ package faas
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/qos"
@@ -28,11 +30,13 @@ import (
 // data layer.
 const MaxBodySize = 4096
 
-// Errors returned by the runtime.
+// Errors returned by the runtime. All three classify as fatal at this
+// layer; core.DefaultRetryable overrides ErrNoPlacement to retryable,
+// because a full cluster drains as instances are reaped.
 var (
-	ErrUnknownFunction = errors.New("faas: unknown function")
-	ErrBodyTooLarge    = errors.New("faas: request body exceeds MaxBodySize")
-	ErrNoPlacement     = errors.New("faas: no node can host the function")
+	ErrUnknownFunction = fault.Fatal("faas: unknown function")
+	ErrBodyTooLarge    = fault.Fatal("faas: request body exceeds MaxBodySize")
+	ErrNoPlacement     = fault.Fatal("faas: no node can host the function")
 )
 
 // PlacementHints guide the Placer for one instance start.
@@ -496,6 +500,19 @@ func (rt *Runtime) destroy(inst *Instance) {
 	}
 }
 
+// poolFns returns the pooled function names in sorted order. Every sweep
+// over the whole fleet walks functions through this, so teardown sleeps,
+// instance-second accounting, and kill ordering never depend on
+// randomized map-iteration order.
+func (rt *Runtime) poolFns() []string {
+	fns := make([]string, 0, len(rt.pool))
+	for fn := range rt.pool {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	return fns
+}
+
 // startReaper launches the idle-instance reaper. While the fleet is empty
 // the reaper parks on reaperWake instead of polling, so an otherwise-idle
 // simulation's event queue can drain.
@@ -511,8 +528,8 @@ func (rt *Runtime) startReaper() {
 			}
 			p.Sleep(rt.cfg.IdleTimeout / 2)
 			cutoff := p.Now().Add(-rt.cfg.IdleTimeout)
-			for _, insts := range rt.pool {
-				for _, in := range append([]*Instance(nil), insts...) {
+			for _, fn := range rt.poolFns() {
+				for _, in := range append([]*Instance(nil), rt.pool[fn]...) {
 					if in.state == instIdle && in.idleSince <= cutoff {
 						p.Sleep(platform.Specs(in.Variant().Kind).Teardown)
 						rt.destroy(in)
@@ -538,8 +555,8 @@ func (rt *Runtime) liveInstances() int {
 func (rt *Runtime) FailNode(node simnet.NodeID) int {
 	rt.cl.SetDown(node, true)
 	killed := 0
-	for _, insts := range rt.pool {
-		for _, in := range append([]*Instance(nil), insts...) {
+	for _, fn := range rt.poolFns() {
+		for _, in := range append([]*Instance(nil), rt.pool[fn]...) {
 			if in.Node.ID == node && in.state != instDead {
 				rt.destroy(in)
 				killed++
@@ -553,8 +570,8 @@ func (rt *Runtime) FailNode(node simnet.NodeID) int {
 // Drain destroys every instance (end of experiment) so instance-seconds
 // accounting is complete.
 func (rt *Runtime) Drain() {
-	for _, insts := range rt.pool {
-		for _, in := range append([]*Instance(nil), insts...) {
+	for _, fn := range rt.poolFns() {
+		for _, in := range append([]*Instance(nil), rt.pool[fn]...) {
 			rt.destroy(in)
 		}
 	}

@@ -150,6 +150,29 @@ type Classified interface {
 	Retryable() bool
 }
 
+// classed is a comparable classified sentinel: errors.Is matches it by
+// value through any fmt.Errorf("%w") wrapping, and Retryable answers the
+// classifier directly, so a sentinel built from Fatal or Transient never
+// needs an entry in a classifier's errors.Is table.
+type classed struct {
+	msg   string
+	retry bool
+}
+
+func (e classed) Error() string   { return e.msg }
+func (e classed) Retryable() bool { return e.retry }
+
+// Fatal returns an error sentinel classified as non-retryable: retry
+// policies return it to the caller on first sight. Use it for answers —
+// not-found, invalid arguments, capability denials — where retrying
+// re-asks a question the system already answered.
+func Fatal(msg string) error { return classed{msg: msg} }
+
+// Transient returns an error sentinel classified as retryable: retry
+// policies back off and re-run the attempt. Use it for conditions that
+// clear on their own — pressure, races, windows mid-reconfiguration.
+func Transient(msg string) error { return classed{msg: msg, retry: true} }
+
 // Retryable is the substrate-level error classifier: injected faults,
 // timeouts, and node/capacity transients are retryable; everything else
 // (not-found, invalid refs, capability denials, handler bugs) is fatal.

@@ -173,9 +173,16 @@ func (d *Device) Invalidate(key string) {
 }
 
 func (d *Device) evictOne() {
-	for k := range d.resident {
-		d.Invalidate(k)
-		return
+	if len(d.resident) == 0 {
+		panic("platform: evict on empty device")
 	}
-	panic("platform: evict on empty device")
+	// Evict the smallest key, not an arbitrary map element: which working
+	// set survives memory pressure must not vary with map-iteration order.
+	victim, first := "", true
+	for k := range d.resident {
+		if first || k < victim {
+			victim, first = k, false
+		}
+	}
+	d.Invalidate(victim)
 }

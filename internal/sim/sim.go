@@ -78,7 +78,7 @@ type Env struct {
 	seq     uint64
 	yield   chan struct{} // signalled by a process when it parks or exits
 	procs   int           // live processes
-	parked  map[*Proc]struct{}
+	parked  []*Proc       // park order, so shutdown aborts deterministically
 	closed  bool
 	running bool
 	seed    int64
@@ -91,10 +91,9 @@ type Env struct {
 // the environment's random stream; equal seeds give identical runs.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		yield:  make(chan struct{}),
-		parked: make(map[*Proc]struct{}),
-		seed:   seed,
-		rng:    rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -215,10 +214,15 @@ func (e *Env) Go(name string, fn func(p *Proc)) {
 // park suspends the calling process until the engine resumes it.
 func (p *Proc) park() {
 	e := p.env
-	e.parked[p] = struct{}{}
+	e.parked = append(e.parked, p)
 	e.yield <- struct{}{}
 	<-p.resume
-	delete(e.parked, p)
+	for i, q := range e.parked {
+		if q == p {
+			e.parked = append(e.parked[:i], e.parked[i+1:]...)
+			break
+		}
+	}
 	if e.closed {
 		panic(ErrAborted)
 	}
@@ -280,16 +284,13 @@ func (e *Env) runUntil(limit Time) Time {
 	return e.now
 }
 
-// shutdown aborts every parked process.
+// shutdown aborts every parked process, oldest park first. Each resumed
+// process removes itself from the parked list (in park) before it panics
+// with ErrAborted.
 func (e *Env) shutdown() {
 	e.closed = true
 	for len(e.parked) > 0 {
-		var p *Proc
-		for q := range e.parked {
-			p = q
-			break
-		}
-		delete(e.parked, p)
+		p := e.parked[0]
 		p.resume <- struct{}{}
 		<-e.yield
 	}

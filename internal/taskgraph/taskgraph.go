@@ -20,12 +20,14 @@ import (
 	"repro/internal/trace"
 )
 
-// Errors returned by graph construction and execution.
+// Errors returned by graph construction and execution. All are structural
+// defects in the submitted graph — fatal, since resubmitting the same
+// shape can never succeed.
 var (
-	ErrCycle     = errors.New("taskgraph: dependency cycle")
-	ErrDupTask   = errors.New("taskgraph: duplicate task name")
-	ErrUnknown   = errors.New("taskgraph: unknown dependency")
-	ErrNotLinear = errors.New("taskgraph: graph is not a linear pipeline")
+	ErrCycle     = fault.Fatal("taskgraph: dependency cycle")
+	ErrDupTask   = fault.Fatal("taskgraph: duplicate task name")
+	ErrUnknown   = fault.Fatal("taskgraph: unknown dependency")
+	ErrNotLinear = fault.Fatal("taskgraph: graph is not a linear pipeline")
 )
 
 // Task is one node in a graph.

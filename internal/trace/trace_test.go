@@ -102,6 +102,10 @@ func TestNestingAndTrackInheritance(t *testing.T) {
 	}
 }
 
+// TestDataClosesOpenSpans leaks a span on purpose to prove Data closes
+// still-open spans at collection time.
+//
+//pcsi:allow spanleak the leak is the behavior under test
 func TestDataClosesOpenSpans(t *testing.T) {
 	d := collect(t, func() {
 		env := sim.NewEnv(1)
