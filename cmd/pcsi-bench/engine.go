@@ -1,0 +1,243 @@
+package main
+
+// engine.go is the `pcsi-bench -engine` microbenchmark: the first point of
+// the engine performance trajectory ROADMAP item 1 gates on. It drives the
+// sim engine through a deterministic workload exercising every hot path —
+// timer scheduling, park/wake handshakes, Event completion fan-out, queue
+// producer/consumer pairs, and a wide spawn wave that holds tens of
+// thousands of processes live at once — and reports events/sec, ns/event,
+// allocs/event, and the peak live-process count. The JSON it emits
+// (BENCH_engine.json) is the committed baseline scripts/ci.sh compares
+// every run against: more than 10% regression in allocs/event or
+// events/sec fails CI.
+//
+// The workload draws no randomness (delays are arithmetic in the loop
+// indices) so the event count and allocation count are bit-identical
+// across runs; only the wall-clock figures vary, and those are taken from
+// the best of three runs to damp scheduler noise.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// engineBenchResult is the BENCH_engine.json schema.
+type engineBenchResult struct {
+	Bench          string  `json:"bench"`
+	Seed           int64   `json:"seed"`
+	Events         uint64  `json:"events"`
+	MaxLiveProcs   int     `json:"max_live_procs"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	WallNs         int64   `json:"wall_ns"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+// Workload scale. Sized so one run finishes in well under a second of
+// wall clock while still dispatching ~1M events and holding a five-figure
+// process population, which is where per-event constants dominate.
+const (
+	benchTimerProcs  = 2000  // phase A: processes in the sleep storm
+	benchTimerSleeps = 100   // sleeps per storm process
+	benchEvents      = 5000  // phase B: events completed through waiter+callback
+	benchQueuePairs  = 200   // phase C: producer/consumer pairs
+	benchQueueItems  = 100   // items per pair
+	benchWideProcs   = 30000 // phase D: simultaneously live processes
+)
+
+// engineWorkload builds the benchmark environment. The returned function
+// reports the peak live-process count sampled during the wide phase.
+func engineWorkload(seed int64) (*sim.Env, func() int) {
+	env := sim.NewEnv(seed)
+	ms := sim.Duration(1e6)
+
+	// Phase A — timer storm: park/wake through the heap at staggered,
+	// colliding deadlines (the i*j arithmetic makes many events share a
+	// timestamp, exercising the seq tiebreak).
+	for i := 0; i < benchTimerProcs; i++ {
+		i := i
+		env.Go("timer", func(p *sim.Proc) {
+			for j := 0; j < benchTimerSleeps; j++ {
+				p.Sleep(sim.Duration((i*j)%97+1) * ms)
+			}
+		})
+	}
+
+	// Phase B — completion fan-out: every event has one parked waiter and
+	// one callback; a single driver completes them in order.
+	events := make([]*sim.Event, benchEvents)
+	sink := 0
+	for i := range events {
+		events[i] = env.NewEvent()
+		events[i].OnComplete(func(any, error) { sink++ })
+		ev := events[i]
+		env.Go("waiter", func(p *sim.Proc) {
+			p.Wait(ev) //nolint:errcheck // benchmark: result unused
+		})
+	}
+	env.Go("completer", func(p *sim.Proc) {
+		for i, ev := range events {
+			p.Sleep(sim.Duration(i%7+1) * ms)
+			ev.Complete(i)
+		}
+	})
+
+	// Phase C — queue pairs: blocking Get against bursty Put.
+	for i := 0; i < benchQueuePairs; i++ {
+		q := sim.NewQueue[int](env)
+		env.Go("producer", func(p *sim.Proc) {
+			for j := 0; j < benchQueueItems; j++ {
+				p.Sleep(sim.Duration(j%13+1) * ms)
+				q.Put(j)
+			}
+			q.Close()
+		})
+		env.Go("consumer", func(p *sim.Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+			}
+		})
+	}
+
+	// Phase D — width: a wave of processes that are all alive at once,
+	// the shape of a 100k-node cluster sim. A sampler records the peak.
+	for i := 0; i < benchWideProcs; i++ {
+		i := i
+		env.Go("node", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(i%31+1) * ms)
+			p.Sleep(sim.Duration(i%17+1) * ms)
+		})
+	}
+	peak := 0
+	var sample func()
+	sample = func() {
+		if n := env.LiveProcs(); n > peak {
+			peak = n
+		}
+		if env.Pending() > 0 {
+			env.After(5*ms, sample)
+		}
+	}
+	env.After(0, sample)
+
+	return env, func() int { return peak }
+}
+
+// runEngineBench executes the workload three times, keeping the
+// deterministic counters from the first run and the fastest wall clock.
+func runEngineBench(seed int64) engineBenchResult {
+	var res engineBenchResult
+	for run := 0; run < 3; run++ {
+		env, peak := engineWorkload(seed)
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		//pcsi:allow wallclock benchmark measures real elapsed time by design
+		t0 := time.Now()
+		env.Run()
+		wall := time.Since(t0) //pcsi:allow wallclock benchmark timing
+		runtime.ReadMemStats(&m1)
+
+		events := env.Dispatched()
+		allocs := m1.Mallocs - m0.Mallocs
+		if run == 0 {
+			res = engineBenchResult{
+				Bench:          "engine",
+				Seed:           seed,
+				Events:         events,
+				MaxLiveProcs:   peak(),
+				Allocs:         allocs,
+				AllocsPerEvent: float64(allocs) / float64(events),
+				WallNs:         wall.Nanoseconds(),
+			}
+		} else if allocs < res.Allocs {
+			// GC timing can shave a few allocations; keep the minimum so
+			// the committed figure is stable run to run.
+			res.Allocs = allocs
+			res.AllocsPerEvent = float64(allocs) / float64(events)
+		}
+		if wall.Nanoseconds() < res.WallNs {
+			res.WallNs = wall.Nanoseconds()
+		}
+	}
+	res.NsPerEvent = float64(res.WallNs) / float64(res.Events)
+	res.EventsPerSec = float64(res.Events) / (float64(res.WallNs) / 1e9)
+	return res
+}
+
+// engineBenchMain runs the benchmark, prints a summary, optionally writes
+// the JSON artifact, and optionally gates against a committed baseline.
+// Returns the process exit code.
+func engineBenchMain(seed int64, outFile, baselineFile string) int {
+	res := runEngineBench(seed)
+	fmt.Printf("engine bench: %d events, %d peak live procs\n", res.Events, res.MaxLiveProcs)
+	fmt.Printf("  %12.0f events/sec\n", res.EventsPerSec)
+	fmt.Printf("  %12.1f ns/event\n", res.NsPerEvent)
+	fmt.Printf("  %12.3f allocs/event\n", res.AllocsPerEvent)
+
+	if outFile != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(outFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("engine bench written to %s\n", outFile)
+	}
+
+	if baselineFile != "" {
+		base, err := readEngineBaseline(baselineFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+			return 1
+		}
+		return compareEngineBench(res, base)
+	}
+	return 0
+}
+
+func readEngineBaseline(path string) (engineBenchResult, error) {
+	var base engineBenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// compareEngineBench enforces the CI gate: >10% regression in allocs/event
+// or events/sec against the committed baseline fails the run.
+func compareEngineBench(res, base engineBenchResult) int {
+	code := 0
+	if base.AllocsPerEvent > 0 && res.AllocsPerEvent > base.AllocsPerEvent*1.10 {
+		fmt.Fprintf(os.Stderr,
+			"pcsi-bench: allocs/event regressed: %.3f vs baseline %.3f (>10%%)\n",
+			res.AllocsPerEvent, base.AllocsPerEvent)
+		code = 1
+	}
+	if base.EventsPerSec > 0 && res.EventsPerSec < base.EventsPerSec*0.90 {
+		fmt.Fprintf(os.Stderr,
+			"pcsi-bench: events/sec regressed: %.0f vs baseline %.0f (>10%%)\n",
+			res.EventsPerSec, base.EventsPerSec)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Printf("engine bench within baseline (allocs/event %.3f vs %.3f, events/sec %.0f vs %.0f)\n",
+			res.AllocsPerEvent, base.AllocsPerEvent, res.EventsPerSec, base.EventsPerSec)
+	}
+	return code
+}

@@ -12,6 +12,13 @@
 //	pcsi-bench -seed 7       # change the simulation seed
 //	pcsi-bench -trace t.json # also export a Chrome/Perfetto trace
 //	pcsi-bench -faultrate .05 # run with stochastic fault injection + retries
+//	pcsi-bench -engine       # run the engine microbenchmark instead
+//
+// With -engine, pcsi-bench skips the experiments and instead runs the
+// deterministic engine microbenchmark (see engine.go): -engine-out writes
+// the BENCH_engine.json artifact, and -engine-baseline compares against a
+// committed baseline, exiting 1 on a >10% regression in allocs/event or
+// events/sec.
 //
 // With -trace, every selected experiment runs with the span tracer on; the
 // merged trace_event JSON lands in the given file and each simulated run's
@@ -39,8 +46,15 @@ func main() {
 		list      = flag.Bool("list", false, "list experiments and exit")
 		traceFile = flag.String("trace", "", "export a merged Chrome trace_event JSON to this file")
 		faultrate = flag.Float64("faultrate", 0, "inject faults at this rate (0 = off, identical to the paper runs)")
+		engine    = flag.Bool("engine", false, "run the engine microbenchmark instead of the experiments")
+		engineOut = flag.String("engine-out", "", "with -engine: write the JSON result to this file")
+		engineBas = flag.String("engine-baseline", "", "with -engine: compare against this committed baseline and fail on >10% regression")
 	)
 	flag.Parse()
+
+	if *engine {
+		os.Exit(engineBenchMain(*seed, *engineOut, *engineBas))
+	}
 
 	if *faultrate > 0 {
 		s := fault.Activate(fault.Spec{

@@ -2,8 +2,12 @@
 // (internal/analysis) over package patterns:
 //
 //	go run ./cmd/pcsi-vet ./...
-//	go run ./cmd/pcsi-vet -only simtime,layering ./internal/...
+//	go run ./cmd/pcsi-vet -checks simtime,layering ./internal/...
 //	go run ./cmd/pcsi-vet -format sarif ./... > pcsi-vet.sarif
+//
+// -checks selects a subset of analyzers by name (-only is an alias kept
+// for compatibility). Packages are analyzed in parallel; output order is
+// deterministic regardless.
 //
 // It exits 0 when the tree is clean, 1 when any diagnostic fires, and 2 on
 // usage or load errors. With -format text (the default) diagnostics print
@@ -24,14 +28,23 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	only := flag.String("only", "", "alias for -checks")
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	format := flag.String("format", "text", "output format: text, json, or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pcsi-vet [-only names] [-format text|json|sarif] [-list] [package patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: pcsi-vet [-checks names] [-format text|json|sarif] [-list] [package patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *checks != "" && *only != "" && *checks != *only {
+		fmt.Fprintln(os.Stderr, "pcsi-vet: -checks and -only disagree; use one")
+		os.Exit(2)
+	}
+	if *checks == "" {
+		*checks = *only
+	}
 
 	if *format != "text" && *format != "json" && *format != "sarif" {
 		fmt.Fprintf(os.Stderr, "pcsi-vet: unknown -format %q (want text, json, or sarif)\n", *format)
@@ -45,7 +58,7 @@ func main() {
 		return
 	}
 
-	analyzers, err := selectAnalyzers(*only)
+	analyzers, err := selectAnalyzers(*checks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pcsi-vet:", err)
 		os.Exit(2)
@@ -97,7 +110,7 @@ func main() {
 	}
 }
 
-// selectAnalyzers resolves -only names against the registry.
+// selectAnalyzers resolves -checks names against the registry.
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	all := analysis.All()
 	if only == "" {

@@ -18,7 +18,8 @@
 //
 // where <check> is one of the analyzer directive names (wallclock,
 // globalrand, layering, rawmutation, maporder, obsrand, errclass,
-// spanleak). A directive suppresses its check on the same line and the
+// spanleak, hotpath, goroleak, lockorder). A directive suppresses its
+// check on the same line and the
 // following line; a directive in the doc comment of a top-level declaration
 // covers the whole declaration. A directive whose analyzer runs without
 // suppressing anything is itself reported, so stale suppressions cannot
@@ -32,6 +33,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -53,6 +55,13 @@ type Analyzer struct {
 	Directive string
 	// Doc is a one-line description.
 	Doc string
+	// Prepare, if set, runs once before the per-package passes fan out,
+	// with a pass carrying no package. It builds whole-program indexes
+	// (the call graph, the classifier index) into the shared Cache and may
+	// trigger lazy package loads; because the per-package passes then run
+	// in parallel, ALL Cache writes and Loader loads must happen here.
+	// Prepare must not report diagnostics.
+	Prepare func(*Pass)
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -62,6 +71,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		SimTime, DetRand, Layering, CapDiscipline,
 		MapRange, ObsRand, ErrClass, SpanBalance,
+		HotPath, GoroLeak, LockOrder,
 	}
 }
 
@@ -269,58 +279,42 @@ func collectAllows(fset *token.FileSet, pkg *Package, diags *[]Diagnostic) map[s
 // code that does not compile. After the analyzers finish, //pcsi:allow
 // directives whose analyzer ran but which suppressed nothing are reported
 // as "directive" diagnostics, so suppressions cannot rot in place.
+//
+// Execution is two-phase: first every analyzer's Prepare hook runs
+// serially, building whole-program indexes into the shared cache (and
+// performing any lazy package loads); then the per-package passes run in
+// parallel, one goroutine per package, touching only immutable shared
+// state. Each package's diagnostics collect into a private slice; the
+// slices merge in package order and the result is globally sorted, so the
+// output is byte-identical to a serial run.
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
 	cache := make(map[string]any)
 	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		ran[a.Directive] = true
-	}
-	for _, pkg := range pkgs {
-		for _, err := range pkg.TypeErrors {
-			msg := err.Error()
-			pos := token.Position{Filename: pkg.Dir}
-			if te, ok := err.(types.Error); ok {
-				pos = l.Fset.Position(te.Pos)
-				msg = te.Msg
-			}
-			diags = append(diags, Diagnostic{Pos: pos, Check: "typecheck", Message: msg})
-		}
-		allows := collectAllows(l.Fset, pkg, &diags)
-		for _, a := range analyzers {
-			pass := &Pass{
+		if a.Prepare != nil {
+			a.Prepare(&Pass{
 				Analyzer: a,
 				Fset:     l.Fset,
 				Module:   l.Module,
-				Pkg:      pkg,
 				Loader:   l,
 				Cache:    cache,
-				allows:   allows,
-				diags:    &diags,
-			}
-			a.Run(pass)
+			})
 		}
-		// Stale suppressions: only judged for analyzers that actually ran,
-		// so a -only subset never flags directives it could not exercise.
-		keywords := make([]string, 0, len(allows))
-		for k := range allows {
-			keywords = append(keywords, k)
-		}
-		sort.Strings(keywords)
-		for _, k := range keywords {
-			if !ran[k] {
-				continue
-			}
-			for _, r := range allows[k] {
-				if !r.used {
-					diags = append(diags, Diagnostic{
-						Pos:     r.pos,
-						Check:   "directive",
-						Message: fmt.Sprintf("unused //pcsi:allow %s: no %s finding is suppressed by this directive; delete it", k, k),
-					})
-				}
-			}
-		}
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			perPkg[i] = runPackage(l, pkg, analyzers, cache, ran)
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -335,5 +329,57 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
+	return diags
+}
+
+// runPackage runs every analyzer over one package and returns its
+// diagnostics. It is the parallel unit of Run: everything it touches
+// outside its own slice is read-only by the prepare-phase contract.
+func runPackage(l *Loader, pkg *Package, analyzers []*Analyzer, cache map[string]any, ran map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, err := range pkg.TypeErrors {
+		msg := err.Error()
+		pos := token.Position{Filename: pkg.Dir}
+		if te, ok := err.(types.Error); ok {
+			pos = l.Fset.Position(te.Pos)
+			msg = te.Msg
+		}
+		diags = append(diags, Diagnostic{Pos: pos, Check: "typecheck", Message: msg})
+	}
+	allows := collectAllows(l.Fset, pkg, &diags)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     l.Fset,
+			Module:   l.Module,
+			Pkg:      pkg,
+			Loader:   l,
+			Cache:    cache,
+			allows:   allows,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	// Stale suppressions: only judged for analyzers that actually ran,
+	// so a -only subset never flags directives it could not exercise.
+	keywords := make([]string, 0, len(allows))
+	for k := range allows {
+		keywords = append(keywords, k)
+	}
+	sort.Strings(keywords)
+	for _, k := range keywords {
+		if !ran[k] {
+			continue
+		}
+		for _, r := range allows[k] {
+			if !r.used {
+				diags = append(diags, Diagnostic{
+					Pos:     r.pos,
+					Check:   "directive",
+					Message: fmt.Sprintf("unused //pcsi:allow %s: no %s finding is suppressed by this directive; delete it", k, k),
+				})
+			}
+		}
+	}
 	return diags
 }

@@ -271,3 +271,88 @@ func TestMapOrderExactPositions(t *testing.T) {
 		t.Errorf("maporder positions:\n got %v\nwant %v", got, want)
 	}
 }
+
+// TestHotPathExactPositions pins file:line:column for the hotpath fixture:
+// each rule must anchor on the offending expression or statement (the
+// closure literal, the defer keyword, the append call, the concatenation,
+// the Sprintf call, the boxed argument, the stray directive).
+func TestHotPathExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "bad/hotpath/hotpath.go" {
+			continue
+		}
+		got = append(got, fmt.Sprintf("%d:%d", d.Pos.Line, d.Pos.Column))
+	}
+	want := []string{
+		"18:9",  // rule 1: closure capture, at the func literal
+		"26:3",  // rule 2: defer in loop, at the defer keyword
+		"31:9",  // rule 3: unpreallocated append, at the append call
+		"43:7",  // rule 5: concatenation, at the outermost BinaryExpr
+		"47:3",  // rule 5: string +=, at the statement
+		"51:10", // rule 6: Sprintf off the error path, at the call
+		"54:10", // rule 4: boxing, at the boxed argument
+		"78:1",  // stray directive, at the comment
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("hotpath positions:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestGoroLeakExactPositions pins positions and blamed channels for the
+// goroleak fixture: reports anchor on the go statement.
+func TestGoroLeakExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "bad/goroleak/goroleak.go" {
+			continue
+		}
+		ch := "?"
+		for _, word := range []string{"ch", "done", "jobs"} {
+			if strings.Contains(d.Message, " "+word+",") {
+				ch = word
+				break
+			}
+		}
+		got = append(got, fmt.Sprintf("%d:%d:%s", d.Pos.Line, d.Pos.Column, ch))
+	}
+	want := []string{
+		"9:2:ch",    // literal receiver, no send/close
+		"17:2:done", // literal sender, unbuffered, no receiver
+		"32:2:jobs", // named worker resolved through the call graph
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("goroleak positions:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestLockOrderExactPositions pins positions for the lockorder fixture:
+// inversions report at the lexically later second-acquisition site and
+// name both functions; balance leaks report at the acquisition site.
+func TestLockOrderExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "bad/lockorder/lockorder.go" {
+			continue
+		}
+		kind := "balance"
+		if strings.Contains(d.Message, "inversion") {
+			kind = "inversion"
+		}
+		got = append(got, fmt.Sprintf("%d:%d:%s", d.Pos.Line, d.Pos.Column, kind))
+	}
+	want := []string{
+		"25:2:inversion", // baPath's mu.Lock vs abPath's mu->nu
+		"45:2:inversion", // reversed's a.Lock vs viaHelper's a->lockB(b)
+		"53:2:balance",   // leaky's mu.Lock, unreleased on the return path
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("lockorder positions:\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildFixtureGraph loads the fixture module and builds its call graph
+// the way the Prepare phase does, with a fresh cache each call.
+func buildFixtureGraph(t *testing.T) (*Loader, *callGraph) {
+	t.Helper()
+	l, err := NewLoader(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := l.Load("./..."); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pass := &Pass{Fset: l.Fset, Module: l.Module, Loader: l, Cache: make(map[string]any)}
+	return l, buildCallGraph(pass)
+}
+
+// nodeByName finds a call-graph node by its deterministic printable name.
+func nodeByName(t *testing.T, g *callGraph, name string) *funcNode {
+	t.Helper()
+	for _, n := range g.nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %q", name)
+	return nil
+}
+
+// edgeStrings renders a node's edges as "kind callee" in stored order.
+func edgeStrings(n *funcNode) []string {
+	var out []string
+	for _, e := range n.edges {
+		out = append(out, e.kind+" "+e.callee.name)
+	}
+	return out
+}
+
+// TestCallGraphEdges pins the edge set of the cgdemo fixture: static,
+// funcval (declared function and tracked literal), lit, and the iface
+// edges CHA adds for every concrete implementation.
+func TestCallGraphEdges(t *testing.T) {
+	_, g := buildFixtureGraph(t)
+
+	entry := nodeByName(t, g, "internal/cgdemo.entry")
+	if !entry.hot {
+		t.Error("entry is not marked hot despite its //pcsi:hotpath directive")
+	}
+	want := []string{
+		"static internal/cgdemo.helper",   // helper()
+		"funcval internal/cgdemo.helper",  // f := helper; f()
+		"funcval internal/cgdemo.entry$1", // g := func(){}; g()
+		"lit internal/cgdemo.entry$2",     // func(){ helper() }()
+		"static internal/cgdemo.invoke",   // invoke(&slow{})
+	}
+	if got := edgeStrings(entry); !reflect.DeepEqual(got, want) {
+		t.Errorf("entry edges:\n got %v\nwant %v", got, want)
+	}
+
+	invoke := nodeByName(t, g, "internal/cgdemo.invoke")
+	want = []string{
+		// Same site: sorted by callee name, '*' < 'f'.
+		"iface internal/cgdemo.(*slow).run",
+		"iface internal/cgdemo.(fast).run",
+	}
+	if got := edgeStrings(invoke); !reflect.DeepEqual(got, want) {
+		t.Errorf("invoke edges:\n got %v\nwant %v", got, want)
+	}
+
+	lit := nodeByName(t, g, "internal/cgdemo.entry$2")
+	want = []string{"static internal/cgdemo.helper"}
+	if got := edgeStrings(lit); !reflect.DeepEqual(got, want) {
+		t.Errorf("entry$2 edges:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCallGraphReachability asserts everything downstream of the cgdemo
+// root is attributed to it, and that hazard-free-but-unreferenced code
+// stays unreachable.
+func TestCallGraphReachability(t *testing.T) {
+	_, g := buildFixtureGraph(t)
+	entry := nodeByName(t, g, "internal/cgdemo.entry")
+
+	for _, name := range []string{
+		"internal/cgdemo.entry",
+		"internal/cgdemo.helper",
+		"internal/cgdemo.invoke",
+		"internal/cgdemo.entry$1",
+		"internal/cgdemo.entry$2",
+		"internal/cgdemo.(fast).run",
+		"internal/cgdemo.(*slow).run",
+	} {
+		n := nodeByName(t, g, name)
+		if g.reach[n] != entry {
+			t.Errorf("reach[%s] = %v, want entry", name, g.reach[n])
+		}
+	}
+
+	notHot := nodeByName(t, g, "bad/hotpath.notHot")
+	if g.reach[notHot] != nil {
+		t.Errorf("notHot is reachable from %s; want unreachable", g.reach[notHot].name)
+	}
+}
+
+// TestCallGraphDeterministic builds the graph twice from scratch and
+// compares the full serialized node and edge order, byte for byte.
+func TestCallGraphDeterministic(t *testing.T) {
+	render := func(g *callGraph) string {
+		var b strings.Builder
+		for _, n := range g.nodes {
+			fmt.Fprintf(&b, "%s hot=%v\n", n.name, n.hot)
+			for _, e := range n.edges {
+				fmt.Fprintf(&b, "  %s %s\n", e.kind, e.callee.name)
+			}
+		}
+		for _, r := range g.roots {
+			fmt.Fprintf(&b, "root %s\n", r.name)
+		}
+		return b.String()
+	}
+	_, g1 := buildFixtureGraph(t)
+	_, g2 := buildFixtureGraph(t)
+	if render(g1) != render(g2) {
+		t.Error("two builds of the fixture call graph differ")
+	}
+	if len(g1.roots) == 0 {
+		t.Error("fixture call graph has no hot roots")
+	}
+}
+
+// TestCallGraphStrayDirectives asserts the stray //pcsi:hotpath in the
+// hotpath fixture is recorded (the diagnostic itself is covered by the
+// marker test).
+func TestCallGraphStrayDirectives(t *testing.T) {
+	l, g := buildFixtureGraph(t)
+	var got []string
+	for _, s := range g.stray {
+		p := l.Fset.Position(s.pos)
+		rel, _ := filepath.Rel(l.Root, p.Filename)
+		got = append(got, fmt.Sprintf("%s:%d", filepath.ToSlash(rel), p.Line))
+	}
+	want := []string{"bad/hotpath/hotpath.go:78"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stray directives = %v, want %v", got, want)
+	}
+}

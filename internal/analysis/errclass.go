@@ -26,7 +26,16 @@ var ErrClass = &Analyzer{
 	Name:      "errclass",
 	Directive: "errclass",
 	Doc:       "require retry-boundary errors to implement fault.Classified or appear in a classifier",
+	Prepare:   prepareErrClass,
 	Run:       runErrClass,
+}
+
+// prepareErrClass resolves fault.Classified (a lazy package load) and
+// builds the whole-program classifier index while the run is still
+// serial; the parallel per-package passes then only read the cache.
+func prepareErrClass(pass *Pass) {
+	pass.Cache["errclass.classified"] = classifiedIface(pass)
+	buildErrClassIndex(pass)
 }
 
 // errClassIndex is the whole-program classifier index, built once per Run
@@ -44,7 +53,10 @@ func runErrClass(pass *Pass) {
 	if !retryBoundaryPkgs[target] {
 		return
 	}
-	classified := classifiedIface(pass)
+	if _, ok := pass.Cache["errclass.classified"]; !ok {
+		prepareErrClass(pass) // direct use without the prepare phase
+	}
+	classified, _ := pass.Cache["errclass.classified"].(*types.Interface)
 	if classified == nil {
 		return // no fault.Classified in this module: nothing to enforce
 	}

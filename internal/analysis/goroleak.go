@@ -1,0 +1,353 @@
+package analysis
+
+// goroleak.go flags go statements that spawn a goroutine which can block
+// forever on a channel operation no other code can ever satisfy. The
+// classic shape is a worker draining a locally made channel that the
+// spawner forgets to close (or an acknowledgement send nobody receives):
+// the goroutine parks on chan receive/send, the channel never becomes
+// ready, and the goroutine — plus everything it pins — leaks for the
+// process lifetime. In a simulator meant to sustain 100k+ nodes, leaked
+// goroutines are a capacity bug, not a style nit.
+//
+// The analysis is deliberately conservative, reporting only when it can
+// see the whole story:
+//
+//   - the goroutine body is resolvable (a function literal, or a declared
+//     function found through the call graph), and it performs a blocking
+//     channel op — send, receive, or range — outside any select that has
+//     a default or an alternative case;
+//   - the channel is a local of the spawning function, created there by
+//     make(chan ...);
+//   - the channel does not escape: every other use in the spawner is a
+//     send, receive, close, or len/cap. Passing it to another call,
+//     storing it, returning it, or capturing it in a different closure
+//     all count as escape and silence the check (someone else may
+//     unblock the goroutine);
+//   - the spawner itself provides no counterpart: no send/close for a
+//     blocked receive, no receive (and no buffer) for a blocked send.
+//
+// Channels reached through struct fields are never flagged: their
+// lifecycle is owned by the type, not the spawn site (the sim engine's
+// yield/resume handshake lives on fields for exactly this reason).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak reports go statements whose goroutine can block forever on a
+// channel send/receive with no reachable send/close/cancel path.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Directive: "goroleak",
+	Doc:       "flag go statements whose goroutine blocks forever on a channel nobody can satisfy",
+	Prepare:   prepareCallGraph,
+	Run:       runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	g := buildCallGraph(pass)
+	for _, n := range g.nodesIn(pass.Pkg) {
+		inspectShallowStmts(n.body, func(m ast.Node) bool {
+			if gs, ok := m.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g, n, gs)
+			}
+			return true
+		})
+	}
+}
+
+// chanBlockOp is one potentially-blocking channel operation in a spawned
+// goroutine body.
+type chanBlockOp struct {
+	v    *types.Var // the channel variable, as seen by the goroutine
+	recv bool       // receive or range (false: send)
+}
+
+func checkGoStmt(pass *Pass, g *callGraph, n *funcNode, gs *ast.GoStmt) {
+	info := pass.Pkg.Info
+	call := gs.Call
+
+	// Resolve the spawned body and how the goroutine's channel variables
+	// map back to the spawner's locals.
+	var spawnedBody *ast.BlockStmt
+	bind := make(map[*types.Var]*types.Var) // goroutine-side var -> spawner local
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		spawnedBody = lit.Body // captures bind to themselves, below
+	} else if fn := calleeFunc(info, call); fn != nil {
+		cn := g.byObj[fn]
+		if cn == nil {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Variadic() {
+			return
+		}
+		spawnedBody = cn.body
+		params := sig.Params()
+		for i, arg := range call.Args {
+			if i >= params.Len() {
+				break
+			}
+			p := params.At(i)
+			if !isChanType(p.Type()) {
+				continue
+			}
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					bind[p] = v
+				}
+			}
+		}
+	}
+	if spawnedBody == nil {
+		return
+	}
+
+	reported := make(map[chanBlockOp]bool)
+	for _, op := range blockingChanOps(info, spawnedBody) {
+		sv := bind[op.v]
+		if sv == nil {
+			// Literal case: a capture binds to itself if it is a local of
+			// the spawning function (not of the goroutine, not a field).
+			if op.v.Pos() >= n.body.Pos() && op.v.Pos() < n.body.End() &&
+				!(op.v.Pos() >= gs.Pos() && op.v.Pos() < gs.End()) {
+				sv = op.v
+			}
+		}
+		if sv == nil {
+			continue
+		}
+		key := chanBlockOp{v: sv, recv: op.recv}
+		if reported[key] {
+			continue
+		}
+		use := classifySpawnerUses(info, n.body, sv, gs)
+		if !use.made || use.escapes {
+			continue
+		}
+		if op.recv && use.sends == 0 && use.closes == 0 {
+			reported[key] = true
+			pass.Report(gs.Pos(),
+				"goroutine blocks forever: it receives from %s, but the spawning function never sends on or closes it and the channel does not escape; add a send/close path or annotate //pcsi:allow goroleak", sv.Name())
+		}
+		if !op.recv && !use.buffered && use.recvs == 0 && use.closes == 0 {
+			reported[key] = true
+			pass.Report(gs.Pos(),
+				"goroutine blocks forever: it sends on unbuffered %s, but the spawning function never receives from it and the channel does not escape; receive the value, buffer the channel, or annotate //pcsi:allow goroleak", sv.Name())
+		}
+	}
+}
+
+// blockingChanOps collects the channel operations in body that can block
+// the goroutine: sends, receives, and ranges on channel-typed variables,
+// outside any select with an escape hatch (a default, or a second case
+// that could fire instead). Nested function literals are skipped — they
+// run on their own goroutine or call path.
+func blockingChanOps(info *types.Info, body *ast.BlockStmt) []chanBlockOp {
+	var ops []chanBlockOp
+	var walk func(node ast.Node, guarded bool)
+	walk = func(node ast.Node, guarded bool) {
+		if node == nil {
+			return
+		}
+		ast.Inspect(node, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				walk(m.Body, guarded || selectHasEscape(m))
+				return false
+			case *ast.SendStmt:
+				if !guarded {
+					if v := localChanVar(info, m.Chan); v != nil {
+						ops = append(ops, chanBlockOp{v: v, recv: false})
+					}
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && !guarded {
+					if v := localChanVar(info, m.X); v != nil {
+						ops = append(ops, chanBlockOp{v: v, recv: true})
+					}
+				}
+			case *ast.RangeStmt:
+				if !guarded {
+					if v := localChanVar(info, m.X); v != nil && isChanType(v.Type()) {
+						ops = append(ops, chanBlockOp{v: v, recv: true})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return ops
+}
+
+// selectHasEscape reports whether a select cannot strand the goroutine on
+// one operation: it has a default clause or more than one case.
+func selectHasEscape(s *ast.SelectStmt) bool {
+	if len(s.Body.List) > 1 {
+		return true
+	}
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// localChanVar resolves e to a channel-typed variable named by a plain
+// identifier — a local or parameter. Fields and other expressions return
+// nil: their provenance is not the spawn site's to judge.
+func localChanVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || !isChanType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// identOf unwraps parens and returns e as an identifier, or nil.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// spawnerChanUse summarizes how the spawning function treats one channel
+// local, outside the go statement under analysis.
+type spawnerChanUse struct {
+	made     bool // created here by make(chan ...)
+	buffered bool // the make has a nonzero buffer
+	sends    int
+	recvs    int
+	closes   int
+	escapes  bool
+}
+
+// classifySpawnerUses walks the spawning body and classifies every use of
+// v outside the go statement gs. Any use it cannot prove harmless counts
+// as escape.
+func classifySpawnerUses(info *types.Info, body *ast.BlockStmt, v *types.Var, gs *ast.GoStmt) spawnerChanUse {
+	var use spawnerChanUse
+	var stack []ast.Node
+	ast.Inspect(body, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, m)
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != v {
+			return true
+		}
+		if id.Pos() >= gs.Pos() && id.Pos() < gs.End() {
+			return true // the spawn itself; goroutine-side ops judged separately
+		}
+		classifyChanUse(info, &use, v, id, stack)
+		return true
+	})
+	return use
+}
+
+// classifyChanUse buckets one use of the channel variable by its
+// immediate syntactic context. stack holds the ancestors of id, id last.
+func classifyChanUse(info *types.Info, use *spawnerChanUse, v *types.Var, id *ast.Ident, stack []ast.Node) {
+	// Any use inside another function literal hands the channel to code
+	// with its own lifetime: escape.
+	for _, anc := range stack[:len(stack)-1] {
+		if _, ok := anc.(*ast.FuncLit); ok {
+			use.escapes = true
+			return
+		}
+	}
+	// Find the nearest ancestor that is not a ParenExpr.
+	var parent ast.Node
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.SendStmt:
+		if ast.Unparen(p.Chan) == ast.Expr(id) {
+			use.sends++
+			return
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.ARROW {
+			use.recvs++
+			return
+		}
+	case *ast.RangeStmt:
+		if ast.Unparen(p.X) == ast.Expr(id) {
+			use.recvs++ // drains; ends only on close, which is its own use
+			return
+		}
+	case *ast.CallExpr:
+		if bi, ok := info.Uses[identOf(p.Fun)].(*types.Builtin); ok {
+			switch bi.Name() {
+			case "close":
+				use.closes++
+				return
+			case "len", "cap":
+				return
+			}
+		}
+	case *ast.AssignStmt:
+		if chanMakeBinding(info, use, v, id, p.Lhs, p.Rhs) {
+			return
+		}
+	case *ast.ValueSpec:
+		names := make([]ast.Expr, len(p.Names))
+		for i, nm := range p.Names {
+			names[i] = nm
+		}
+		if chanMakeBinding(info, use, v, id, names, p.Values) {
+			return
+		}
+	}
+	use.escapes = true
+}
+
+// chanMakeBinding records a `v := make(chan T[, n])` binding; any other
+// assignment involving v is an escape (reassignment or value use).
+func chanMakeBinding(info *types.Info, use *spawnerChanUse, v *types.Var, id *ast.Ident, lhs, rhs []ast.Expr) bool {
+	for i, l := range lhs {
+		if ast.Unparen(l) != ast.Expr(id) || i >= len(rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs[i]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		bi, ok := info.Uses[identOf(call.Fun)].(*types.Builtin)
+		if !ok || bi.Name() != "make" || use.made {
+			return false // not a make, or rebound: unknown provenance
+		}
+		use.made = true
+		use.buffered = len(call.Args) >= 2 && !isZeroLit(call.Args[1])
+		return true
+	}
+	return false
+}

@@ -1,0 +1,440 @@
+package analysis
+
+// lockorder.go enforces two mutex disciplines over the whole program.
+//
+// Ordering: if one code path acquires mutex A and then (directly, or
+// through any chain of calls the call graph can see) acquires B while
+// still holding A, and another path does the reverse, the two paths can
+// deadlock against each other. Every (held, acquired) pair observed
+// anywhere in the module goes into a global index; an AB pair with a BA
+// counterpart is reported at the lexically later of the two acquisition
+// sites, pointing at the earlier one.
+//
+// Balance: a Lock (or RLock) must be released on every path out of the
+// function that took it — an explicit Unlock before each return, or a
+// defer Unlock. A lock still held at a return or at the closing brace is
+// reported at the acquisition site.
+//
+// Mutex identity is the variable the receiver expression names: a struct
+// field (one identity per field declaration, shared by all instances — the
+// classic per-type heuristic) or a package-level/local variable. Receiver
+// expressions that resolve to neither are skipped.
+//
+// The two disciplines need opposite treatments of defer: for balance, a
+// defer Unlock guarantees release at exit, so it kills the fact; for
+// ordering, the mutex stays held until the function returns, so deferred
+// statements have no effect on the held set.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder reports AB/BA mutex acquisition inversions across call-graph
+// paths and locks not released on every path out of their function.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Directive: "lockorder",
+	Doc:       "enforce a consistent mutex acquisition order and release on all paths",
+	Prepare:   prepareLockOrder,
+	Run:       runLockOrder,
+}
+
+const lockOrderCacheKey = "lockorder.findings"
+
+// lockFinding is one ordering violation, computed whole-program in the
+// prepare phase and reported by the pass covering its package.
+type lockFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// mutexOp is one Lock/Unlock/RLock/RUnlock call on a resolvable mutex.
+type mutexOp struct {
+	v    *types.Var
+	lock bool // acquisition (false: release)
+	read bool // RLock/RUnlock
+	pos  token.Pos
+}
+
+// mutexOpOf recognizes a call as a sync.Mutex/RWMutex operation whose
+// receiver resolves to a variable.
+func mutexOpOf(info *types.Info, call *ast.CallExpr) (mutexOp, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return mutexOp{}, false
+	}
+	var lock, read bool
+	switch fn.Name() {
+	case "Lock":
+		lock = true
+	case "RLock":
+		lock, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return mutexOp{}, false
+	}
+	named := receiverNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return mutexOp{}, false
+	}
+	if nm := named.Obj().Name(); nm != "Mutex" && nm != "RWMutex" {
+		return mutexOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}, false
+	}
+	v := mutexVarOf(info, sel.X)
+	if v == nil {
+		return mutexOp{}, false
+	}
+	return mutexOp{v: v, lock: lock, read: read, pos: call.Pos()}, true
+}
+
+// mutexVarOf resolves the mutex receiver expression to its identity
+// variable: x.mu yields the field mu (shared across instances), a bare
+// identifier yields the local or package-level variable.
+func mutexVarOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// heldFact is an order-analysis fact: v is held (in read or write mode)
+// at this program point. Deferred unlocks do not kill it.
+type heldFact struct {
+	v    *types.Var
+	read bool
+}
+
+// lockedFact is a balance-analysis fact: the acquisition at site has not
+// been matched by a release (explicit or deferred) yet.
+type lockedFact struct {
+	v    *types.Var
+	read bool
+	site token.Pos
+}
+
+// orderTF is the transfer function of the held-set analysis. Deferred
+// statements are skipped entirely: their unlocks run only at exit.
+func orderTF(info *types.Info) transferFn {
+	return func(node ast.Node, in factSet) factSet {
+		if _, ok := node.(*ast.DeferStmt); ok {
+			return in
+		}
+		out := in
+		inspectShallow(node, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op, ok := mutexOpOf(info, call)
+			if !ok {
+				return true
+			}
+			if op.lock {
+				out = out.clone()
+				out[heldFact{v: op.v, read: op.read}] = true
+			} else if out[heldFact{v: op.v, read: op.read}] {
+				out = out.clone()
+				delete(out, heldFact{v: op.v, read: op.read})
+			}
+			return true
+		})
+		return out
+	}
+}
+
+// balanceTF is the transfer function of the release analysis: locks gen a
+// fact carrying their site, releases — including deferred ones, which
+// guarantee release at exit — kill every fact for the same mutex/mode.
+func balanceTF(info *types.Info) transferFn {
+	return func(node ast.Node, in factSet) factSet {
+		_, deferred := node.(*ast.DeferStmt)
+		out := in
+		inspectShallow(node, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op, ok := mutexOpOf(info, call)
+			if !ok {
+				return true
+			}
+			if op.lock {
+				if deferred {
+					return true // defer m.Lock() at exit: not this check's business
+				}
+				out = out.clone()
+				out[lockedFact{v: op.v, read: op.read, site: op.pos}] = true
+				return true
+			}
+			out = killLocked(out, op.v, op.read)
+			return true
+		})
+		return out
+	}
+}
+
+// killLocked removes every balance fact for the given mutex and mode,
+// cloning on first write.
+func killLocked(in factSet, v *types.Var, read bool) factSet {
+	out := in
+	copied := false
+	for f := range in {
+		if lf, ok := f.(lockedFact); ok && lf.v == v && lf.read == read {
+			if !copied {
+				out = in.clone()
+				copied = true
+			}
+			delete(out, f)
+		}
+	}
+	return out
+}
+
+// lockPairKey identifies "b acquired while a held".
+type lockPairKey struct {
+	a, b *types.Var
+}
+
+// lockPairSite is the first site observing a pair.
+type lockPairSite struct {
+	pos token.Pos
+	pkg *Package
+	fn  string // enclosing function's call-graph name
+}
+
+// prepareLockOrder runs the whole-program ordering analysis once: per
+// function, the held set flows through the CFG; each acquisition — direct
+// or anywhere in a call's transitive callees — while something else is
+// held records a pair, and AB/BA conflicts become findings for the
+// per-package passes to report.
+func prepareLockOrder(pass *Pass) {
+	if _, ok := pass.Cache[lockOrderCacheKey]; ok {
+		return
+	}
+	g := buildCallGraph(pass)
+
+	// Directly acquired mutexes per function, for call-site summaries.
+	direct := make(map[*funcNode]map[*types.Var]bool)
+	for _, n := range g.nodes {
+		var s map[*types.Var]bool
+		inspectShallowStmts(n.body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.DeferStmt); ok {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if op, ok := mutexOpOf(n.pkg.Info, call); ok && op.lock {
+					if s == nil {
+						s = make(map[*types.Var]bool)
+					}
+					s[op.v] = true
+				}
+			}
+			return true
+		})
+		if s != nil {
+			direct[n] = s
+		}
+	}
+
+	memo := make(map[*funcNode]map[*funcNode]bool)
+	summaries := make(map[*funcNode]map[*types.Var]bool)
+	summary := func(n *funcNode) map[*types.Var]bool {
+		if s, ok := summaries[n]; ok {
+			return s
+		}
+		s := make(map[*types.Var]bool)
+		for v := range direct[n] {
+			s[v] = true
+		}
+		for c := range g.transitiveCallees(n, memo) {
+			for v := range direct[c] {
+				s[v] = true
+			}
+		}
+		summaries[n] = s
+		return s
+	}
+
+	pairs := make(map[lockPairKey]lockPairSite)
+	record := func(n *funcNode, held factSet, v2 *types.Var, pos token.Pos) {
+		for f := range held {
+			hf, ok := f.(heldFact)
+			if !ok || hf.v == v2 {
+				continue
+			}
+			key := lockPairKey{a: hf.v, b: v2}
+			if _, ok := pairs[key]; !ok {
+				pairs[key] = lockPairSite{pos: pos, pkg: n.pkg, fn: n.name}
+			}
+		}
+	}
+	for _, n := range g.nodes {
+		if direct[n] == nil {
+			continue // no direct acquisition: the held set stays empty
+		}
+		info := n.pkg.Info
+		edgeBySite := make(map[token.Pos][]*funcNode)
+		for _, e := range n.edges {
+			edgeBySite[e.site] = append(edgeBySite[e.site], e.callee)
+		}
+		tf := orderTF(info)
+		cg := buildCFG(n.body, info)
+		in := forwardDataflow(cg, tf)
+		replay(cg, in, tf, func(node ast.Node, before factSet) {
+			if _, ok := node.(*ast.DeferStmt); ok {
+				return
+			}
+			held := before
+			inspectShallow(node, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, ok := mutexOpOf(info, call); ok {
+					if op.lock {
+						record(n, held, op.v, op.pos)
+						held = held.clone()
+						held[heldFact{v: op.v, read: op.read}] = true
+					} else if held[heldFact{v: op.v, read: op.read}] {
+						held = held.clone()
+						delete(held, heldFact{v: op.v, read: op.read})
+					}
+					return true
+				}
+				if len(held) == 0 {
+					return true
+				}
+				for _, c := range edgeBySite[call.Pos()] {
+					for v2 := range summary(c) {
+						record(n, held, v2, call.Pos())
+					}
+				}
+				return true
+			})
+		})
+	}
+
+	var findings []lockFinding
+	for key, site := range pairs {
+		inv, ok := pairs[lockPairKey{a: key.b, b: key.a}]
+		if !ok {
+			continue
+		}
+		// Report each unordered conflict once, at the lexically later of
+		// the two sites, pointing back at the earlier one.
+		p, q := pass.Fset.Position(site.pos), pass.Fset.Position(inv.pos)
+		if positionLess(p, q) {
+			continue // the other direction reports
+		}
+		findings = append(findings, lockFinding{
+			pkg: site.pkg,
+			pos: site.pos,
+			msg: fmt.Sprintf("lock order inversion: %s is acquired while holding %s here (in %s), but %s takes them in the opposite order at %s; pick one global order or annotate //pcsi:allow lockorder",
+				key.b.Name(), key.a.Name(), site.fn, inv.fn, q),
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := pass.Fset.Position(findings[i].pos), pass.Fset.Position(findings[j].pos)
+		if pi.Filename != pj.Filename || pi.Line != pj.Line || pi.Column != pj.Column {
+			return positionLess(pi, pj)
+		}
+		return findings[i].msg < findings[j].msg
+	})
+	pass.Cache[lockOrderCacheKey] = findings
+}
+
+func positionLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func runLockOrder(pass *Pass) {
+	if _, ok := pass.Cache[lockOrderCacheKey]; !ok {
+		prepareLockOrder(pass) // direct use without the prepare phase
+	}
+	findings, _ := pass.Cache[lockOrderCacheKey].([]lockFinding)
+	for _, f := range findings {
+		if f.pkg == pass.Pkg {
+			pass.Report(f.pos, "%s", f.msg)
+		}
+	}
+	g := buildCallGraph(pass)
+	for _, n := range g.nodesIn(pass.Pkg) {
+		checkLockBalance(pass, n)
+	}
+}
+
+// checkLockBalance reports acquisitions not matched by a release on every
+// path out of the function: at each return, and at the closing brace, any
+// surviving locked fact is a leak, reported at its acquisition site.
+func checkLockBalance(pass *Pass, n *funcNode) {
+	info := n.pkg.Info
+	any := false
+	inspectShallowStmts(n.body, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if _, ok := mutexOpOf(info, call); ok {
+				any = true
+			}
+		}
+		return !any
+	})
+	if !any {
+		return
+	}
+	tf := balanceTF(info)
+	cg := buildCFG(n.body, info)
+	in := forwardDataflow(cg, tf)
+	reported := make(map[token.Pos]bool)
+	report := func(f lockedFact, where string) {
+		if reported[f.site] {
+			return
+		}
+		reported[f.site] = true
+		lockName, unlockName := "Lock", "Unlock"
+		if f.read {
+			lockName, unlockName = "RLock", "RUnlock"
+		}
+		pass.Report(f.site,
+			"%s.%s() may still be held at %s: no %s or defer %s on this path; release on every path or annotate //pcsi:allow lockorder",
+			f.v.Name(), lockName, where, unlockName, unlockName)
+	}
+	replay(cg, in, tf, func(node ast.Node, before factSet) {
+		ret, ok := node.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for f := range before {
+			if lf, ok := f.(lockedFact); ok {
+				report(lf, fmt.Sprintf("the return on line %d", pass.Fset.Position(ret.Pos()).Line))
+			}
+		}
+	})
+	if fin := finalFacts(cg, in, tf); fin != nil {
+		for f := range fin {
+			if lf, ok := f.(lockedFact); ok {
+				report(lf, "the end of the function")
+			}
+		}
+	}
+}

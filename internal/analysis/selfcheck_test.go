@@ -37,15 +37,16 @@ func TestRepoInvariants(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the analyzer roster: all eight checks present,
-// with unique names, unique suppression keywords, docs, and Run hooks —
-// so a registry edit cannot silently drop a check from pcsi-vet, the CI
-// gate, and TestRepoInvariants at once.
+// TestAnalyzerRegistry pins the analyzer roster: all eleven checks
+// present, with unique names, unique suppression keywords, docs, and Run
+// hooks — so a registry edit cannot silently drop a check from pcsi-vet,
+// the CI gate, and TestRepoInvariants at once.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
 	wantNames := []string{
 		"simtime", "detrand", "layering", "capdiscipline",
 		"maprange", "obsrand", "errclass", "spanbalance",
+		"hotpath", "goroleak", "lockorder",
 	}
 	if len(all) != len(wantNames) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(wantNames))

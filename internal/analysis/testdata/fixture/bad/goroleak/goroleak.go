@@ -1,0 +1,71 @@
+// Package goroleak exercises the goroleak analyzer: go statements whose
+// goroutine blocks forever on a channel nobody can satisfy.
+package goroleak
+
+// leakRecv spawns a receiver on a channel the spawner never sends on or
+// closes; the goroutine parks forever.
+func leakRecv() {
+	ch := make(chan int)
+	go func() { // want: goroleak
+		<-ch
+	}()
+}
+
+// leakSend spawns a sender on an unbuffered channel nobody receives from.
+func leakSend() {
+	done := make(chan struct{})
+	go func() { // want: goroleak
+		done <- struct{}{}
+	}()
+}
+
+// worker drains a channel; it only exits when the channel is closed.
+func worker(c chan int) {
+	for range c {
+	}
+}
+
+// leakNamed resolves the spawned body through the call graph: worker
+// ranges over jobs, which is never closed.
+func leakNamed() {
+	jobs := make(chan int)
+	go worker(jobs) // want: goroleak
+}
+
+// okClosed closes the channel, so the receiver terminates.
+func okClosed() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	close(ch)
+}
+
+// okBuffered sends into buffer capacity; the send cannot block.
+func okBuffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// okEscapes hands the channel to other code, which may unblock the
+// goroutine; the analyzer stays silent.
+func okEscapes(publish func(chan int)) {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	publish(ch)
+}
+
+// okSelectDefault never blocks: the select has a default clause.
+func okSelectDefault() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case <-ch:
+		default:
+		}
+	}()
+}

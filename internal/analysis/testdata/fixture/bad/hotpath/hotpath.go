@@ -1,0 +1,80 @@
+// Package hotpath exercises the hotpath analyzer: allocation hazards in
+// functions reachable from a //pcsi:hotpath root, and stray directives.
+package hotpath
+
+import "fmt"
+
+var sink any
+
+// consume models an interface-taking helper (boxing rule).
+func consume(v any) { sink = v }
+
+// dispatch is the hot entry point; step is reachable through the static
+// call, so its hazards are reported interprocedurally.
+//
+//pcsi:hotpath
+func dispatch(events []int) {
+	for _, e := range events {
+		fn := func() int { return e } // want: hotpath
+		_ = fn
+		step(e)
+	}
+}
+
+func step(e int) {
+	for i := 0; i < e; i++ {
+		defer cleanup() // want: hotpath
+	}
+
+	var out []int
+	for i := 0; i < e; i++ {
+		out = append(out, i) // want: hotpath
+	}
+	sink = out
+
+	pre := make([]int, 0, 8)
+	for i := 0; i < e; i++ {
+		pre = append(pre, i) // preallocated: no diagnostic
+	}
+	sink = pre
+
+	s := ""
+	for i := 0; i < e; i++ {
+		s = s + "x" // want: hotpath
+	}
+	t := ""
+	for i := 0; i < e; i++ {
+		t += "y" // want: hotpath
+	}
+	sink = s + t // outside any loop: no diagnostic
+
+	name := fmt.Sprintf("ev-%d", e) // want: hotpath
+	sink = name
+
+	consume(e)     // want: hotpath
+	consume(&e)    // pointer-shaped: no diagnostic
+	consume("lit") // constant: no diagnostic
+
+	if e < 0 {
+		panic(fmt.Sprintf("bad event %d", e)) // error path: no diagnostic
+	}
+}
+
+func cleanup() {}
+
+// notHot has the same hazards but is unreachable from any root, so the
+// analyzer stays silent about it.
+func notHot(e int) string {
+	s := ""
+	for i := 0; i < e; i++ {
+		s += "z"
+	}
+	return s
+}
+
+// The next directive marks no function declaration, so it is reported as
+// unused rather than silently rotting in place.
+// want-next: hotpath
+//pcsi:hotpath
+
+var strayTarget int

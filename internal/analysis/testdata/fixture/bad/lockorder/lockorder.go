@@ -1,0 +1,64 @@
+// Package lockorder exercises the lockorder analyzer: AB/BA acquisition
+// inversions (direct and through the call graph) and lock/unlock balance.
+package lockorder
+
+import "sync"
+
+var (
+	mu sync.Mutex
+	nu sync.Mutex
+	a  sync.Mutex
+	b  sync.Mutex
+)
+
+// abPath acquires mu then nu; together with baPath this is an inversion,
+// reported once at the lexically later of the two second-lock sites.
+func abPath() {
+	mu.Lock()
+	nu.Lock()
+	nu.Unlock()
+	mu.Unlock()
+}
+
+func baPath() {
+	nu.Lock()
+	mu.Lock() // want: lockorder
+	mu.Unlock()
+	nu.Unlock()
+}
+
+// lockB gives viaHelper an interprocedural second acquisition: calling it
+// while holding a orders (a, b) through the call graph.
+func lockB() {
+	b.Lock()
+	b.Unlock()
+}
+
+func viaHelper() {
+	a.Lock()
+	lockB()
+	a.Unlock()
+}
+
+func reversed() {
+	b.Lock()
+	a.Lock() // want: lockorder
+	a.Unlock()
+	b.Unlock()
+}
+
+// leaky acquires mu but the early return path never releases it; the
+// balance check reports at the acquisition site.
+func leaky(cond bool) {
+	mu.Lock() // want: lockorder
+	if cond {
+		return
+	}
+	mu.Unlock()
+}
+
+// okDefer releases on every path through the deferred unlock.
+func okDefer() {
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package cgdemo is a diagnostic-free fixture for the call-graph unit
+// tests: one static call, one function-value call, one tracked literal,
+// one in-place literal, and one interface call resolved by CHA.
+package cgdemo
+
+type runner interface{ run() }
+
+type fast struct{}
+
+func (fast) run() {}
+
+type slow struct{}
+
+func (*slow) run() {}
+
+// invoke calls through the interface; CHA gives it an edge to every
+// concrete implementation in the module.
+func invoke(r runner) { r.run() }
+
+func helper() {}
+
+// entry is the root the reachability test starts from.
+//
+//pcsi:hotpath
+func entry() {
+	helper()
+	f := helper
+	f()
+	g := func() {}
+	g()
+	func() { helper() }()
+	invoke(&slow{})
+}

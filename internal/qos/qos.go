@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -96,7 +97,9 @@ func (c Class) String() string {
 	case ClassTask:
 		return "task"
 	default:
-		return fmt.Sprintf("class(%d)", uint8(c))
+		// Admission tracing stringifies the class per shed/queue span, so
+		// avoid the fmt machinery on this path.
+		return "class(" + strconv.Itoa(int(c)) + ")"
 	}
 }
 
@@ -341,6 +344,8 @@ type Grant struct {
 // request is shed (queue full, deadline exceeded, or CoDel backpressure).
 // On nil controllers and disabled classes it admits immediately with zero
 // overhead.
+//
+//pcsi:hotpath
 func (q *Controller) Admit(p *sim.Proc, req Request) (Grant, error) {
 	if q == nil || req.Class >= numClasses {
 		return Grant{}, nil
@@ -392,6 +397,8 @@ func (q *Controller) Admit(p *sim.Proc, req Request) (Grant, error) {
 
 // Release returns the operation's concurrency slot and dispatches queued
 // work. Safe on the zero Grant.
+//
+//pcsi:hotpath
 func (g Grant) Release() {
 	if g.c == nil {
 		return
@@ -426,6 +433,8 @@ func (q *Controller) admitNow(c *classQ, now sim.Time, delay sim.Duration) Grant
 
 // dispatch admits queued requests in virtual-finish-tag order while slots
 // are free, applying deadline and CoDel shedding to queue heads.
+//
+//pcsi:hotpath
 func (q *Controller) dispatch(c *classQ) {
 	now := q.env.Now()
 	for c.inflight < c.limit {
@@ -444,14 +453,19 @@ func (q *Controller) dispatch(c *classQ) {
 			continue
 		}
 		c.vtime = math.Max(c.vtime, w.start)
-		g := q.admitNow(c, now, sojourn)
-		w.ev.Complete(g)
+		// The grant travels back through Admit's own return, not the
+		// completion value; completing with nil avoids boxing a Grant
+		// into the event's any slot on every dispatch.
+		q.admitNow(c, now, sojourn)
+		w.ev.Complete(nil)
 	}
 }
 
 // popMinFinish removes and returns the queue-head waiter with the
 // smallest virtual finish tag; ties break on sequence number. Tenants are
 // scanned in sorted-name order, so the choice is deterministic.
+//
+//pcsi:hotpath
 func (c *classQ) popMinFinish() *waiter {
 	var best *tenantQ
 	for _, name := range c.names {

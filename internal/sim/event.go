@@ -9,11 +9,17 @@ var ErrTimeout = errors.New("sim: wait timed out")
 // arbitrary value or an error. Completing an already-completed event is a
 // no-op, which makes race-to-complete patterns (timeouts, first-of) simple.
 type Event struct {
-	env       *Env
-	done      bool
-	val       any
-	err       error
+	env  *Env
+	done bool
+	val  any
+	err  error
+	// The overwhelmingly common shapes are one waiter and zero or one
+	// callbacks, so the first of each lives in an inline slot and the
+	// slices only materialize for fan-in events. Wake and callback order
+	// is still registration order: slot first, then the slice.
+	waiter0   *Proc
 	waiters   []*Proc
+	callback0 func(any, error)
 	callbacks []func(any, error)
 }
 
@@ -33,6 +39,7 @@ func (ev *Event) Complete(v any) { ev.finish(v, nil) }
 // Fail finishes the event with an error.
 func (ev *Event) Fail(err error) { ev.finish(nil, err) }
 
+//pcsi:hotpath
 func (ev *Event) finish(v any, err error) {
 	if ev.done {
 		return
@@ -40,10 +47,18 @@ func (ev *Event) finish(v any, err error) {
 	ev.done = true
 	ev.val = v
 	ev.err = err
+	if ev.waiter0 != nil {
+		ev.env.wakeNow(ev.waiter0)
+		ev.waiter0 = nil
+	}
 	for _, p := range ev.waiters {
 		ev.env.wakeNow(p)
 	}
 	ev.waiters = nil
+	if cb := ev.callback0; cb != nil {
+		ev.callback0 = nil
+		cb(v, err)
+	}
 	for _, cb := range ev.callbacks {
 		cb(v, err)
 	}
@@ -57,13 +72,23 @@ func (ev *Event) OnComplete(fn func(v any, err error)) {
 		fn(ev.val, ev.err)
 		return
 	}
+	if ev.callback0 == nil && len(ev.callbacks) == 0 {
+		ev.callback0 = fn
+		return
+	}
 	ev.callbacks = append(ev.callbacks, fn)
 }
 
 // Wait parks the process until the event completes and returns its result.
+//
+//pcsi:hotpath
 func (p *Proc) Wait(ev *Event) (any, error) {
 	for !ev.done {
-		ev.waiters = append(ev.waiters, p)
+		if ev.waiter0 == nil && len(ev.waiters) == 0 {
+			ev.waiter0 = p
+		} else {
+			ev.waiters = append(ev.waiters, p)
+		}
 		p.park()
 	}
 	return ev.val, ev.err

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -40,51 +39,99 @@ func (t Time) String() string { return Duration(t).String() }
 // waits that are abandoned. Processes normally never observe it.
 var ErrAborted = errors.New("sim: environment shut down")
 
-// event is a scheduled callback. Events with equal times fire in scheduling
-// order (seq breaks ties), which keeps runs deterministic.
+// event is a scheduled wake-up. Events with equal times fire in scheduling
+// order (seq breaks ties), which keeps runs deterministic. The common cases
+// — resuming a parked process and starting a fresh one — are encoded in the
+// proc/start fields rather than a closure, so the per-event allocation is
+// just the heap slot itself (amortized by the backing array); fn is only
+// non-nil for At/After callbacks.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t     Time
+	seq   uint64
+	proc  *Proc  // non-nil: resume (or, with start, launch) this process
+	start bool   // with proc: first dispatch, launch the goroutine
+	fn    func() // engine-context callback; nil when proc is set
 }
 
-type eventHeap []*event
+// eventHeap is a binary min-heap of events ordered by (t, seq), stored by
+// value. The sift loops are hand-rolled copies of container/heap's up/down
+// — identical comparison order, so the pop sequence is bit-identical to
+// the previous heap.Interface implementation — but monomorphic: no
+// interface dispatch per comparison and no boxing per push/pop on the
+// engine's hottest path.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+//pcsi:hotpath
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+//pcsi:hotpath
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	*h = q
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
-func (h eventHeap) Peek() *event { return h[0] }
+
+//pcsi:hotpath
+func (h *eventHeap) pop() event {
+	q := *h
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the fn/proc references in the dead slot
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && q.less(r, j) {
+			j = r
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	return ev
+}
+
+func (h eventHeap) peek() *event { return &h[0] }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
 // It is not safe for concurrent use from goroutines outside the engine's
 // own process discipline.
 type Env struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	yield   chan struct{} // signalled by a process when it parks or exits
-	procs   int           // live processes
-	parked  []*Proc       // park order, so shutdown aborts deterministically
-	closed  bool
-	running bool
-	seed    int64
-	forks   uint64
-	rng     *rand.Rand
-	obs     any // observer context (e.g. a tracer); opaque to the engine
+	now        Time
+	queue      eventHeap
+	seq        uint64
+	dispatched uint64        // events popped and run, for benchmarking
+	yield      chan struct{} // signalled by a process when it parks or exits
+	procs      int           // live processes
+	// Parked processes form an intrusive doubly-linked list in park order
+	// (head = oldest), so parking and unparking are O(1) and shutdown still
+	// aborts deterministically oldest-first.
+	parkedHead *Proc
+	parkedTail *Proc
+	closed     bool
+	running    bool
+	seed       int64
+	forks      uint64
+	rng        *rand.Rand
+	obs        any // observer context (e.g. a tracer); opaque to the engine
 }
 
 // NewEnv returns a fresh environment whose clock reads zero. The seed fixes
@@ -141,14 +188,28 @@ func (e *Env) SetObserverContext(v any) { e.obs = v }
 func (e *Env) ObserverContext() any { return e.obs }
 
 // schedule enqueues fn to run at time t (>= now).
-func (e *Env) schedule(t Time, fn func()) *event {
+//
+//pcsi:hotpath
+func (e *Env) schedule(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.queue.push(event{t: t, seq: e.seq, fn: fn})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+}
+
+// scheduleProc enqueues a process resume (or, with start, a process launch)
+// at time t (>= now). Unlike schedule it captures nothing: the event names
+// the process directly, so the engine's hottest operations — Sleep, wake,
+// spawn — cost zero closure allocations.
+//
+//pcsi:hotpath
+func (e *Env) scheduleProc(t Time, p *Proc, start bool) {
+	if t < e.now {
+		t = e.now
+	}
+	e.queue.push(event{t: t, seq: e.seq, proc: p, start: start})
+	e.seq++
 }
 
 // At schedules fn to run in engine context at absolute time t.
@@ -162,9 +223,14 @@ func (e *Env) After(d Duration, fn func()) { e.schedule(e.now.Add(d), fn) }
 type Proc struct {
 	env    *Env
 	name   string
+	fn     func(p *Proc) // the process body, run by main on first dispatch
 	resume chan struct{}
 	dead   bool
 	span   any // current-span context, maintained by instrumentation
+
+	// Intrusive links in the environment's parked list; nil when running.
+	parkedPrev *Proc
+	parkedNext *Proc
 }
 
 // Env returns the environment the process runs in.
@@ -187,53 +253,76 @@ func (p *Proc) SetSpanCtx(v any) { p.span = v }
 // is dispatched through the event queue, so a caller inside another process
 // keeps running until it parks. Safe to call both before Run and from
 // within running processes or event callbacks.
+//
+//pcsi:hotpath
 func (e *Env) Go(name string, fn func(p *Proc)) {
 	if e.closed {
 		return
 	}
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p := &Proc{env: e, name: name, fn: fn, resume: make(chan struct{})}
 	e.procs++
-	e.schedule(e.now, func() {
-		go func() {
-			defer func() {
-				p.dead = true
-				e.procs--
-				if r := recover(); r != nil {
-					if r != ErrAborted {
-						panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
-					}
-				}
-				e.yield <- struct{}{}
-			}()
-			fn(p)
-		}()
-		<-e.yield // wait until the new process parks or exits
-	})
+	e.scheduleProc(e.now, p, true)
+}
+
+// main is the goroutine body of a process: run the user function, then
+// tear down in exit. Both are methods rather than closures so a spawn
+// allocates nothing beyond the Proc, its resume channel, and the
+// goroutine itself.
+func (p *Proc) main() {
+	defer p.exit()
+	p.fn(p)
+}
+
+// exit marks the process dead and hands control back to the engine. It is
+// the deferred frame of main, so recover here intercepts the ErrAborted
+// panic that shutdown delivers to parked processes.
+func (p *Proc) exit() {
+	e := p.env
+	p.dead = true
+	e.procs--
+	if r := recover(); r != nil {
+		if r != ErrAborted {
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+		}
+	}
+	e.yield <- struct{}{}
 }
 
 // park suspends the calling process until the engine resumes it.
+//
+//pcsi:hotpath
 func (p *Proc) park() {
 	e := p.env
-	e.parked = append(e.parked, p)
+	p.parkedPrev = e.parkedTail
+	if e.parkedTail != nil {
+		e.parkedTail.parkedNext = p
+	} else {
+		e.parkedHead = p
+	}
+	e.parkedTail = p
 	e.yield <- struct{}{}
 	<-p.resume
-	for i, q := range e.parked {
-		if q == p {
-			e.parked = append(e.parked[:i], e.parked[i+1:]...)
-			break
-		}
+	if p.parkedPrev != nil {
+		p.parkedPrev.parkedNext = p.parkedNext
+	} else {
+		e.parkedHead = p.parkedNext
 	}
+	if p.parkedNext != nil {
+		p.parkedNext.parkedPrev = p.parkedPrev
+	} else {
+		e.parkedTail = p.parkedPrev
+	}
+	p.parkedPrev, p.parkedNext = nil, nil
 	if e.closed {
 		panic(ErrAborted)
 	}
 }
 
 // wake schedules the parked process p to resume at time t.
+//
+//pcsi:hotpath
 func (e *Env) wake(p *Proc, t Time) {
-	e.schedule(t, func() {
-		p.resume <- struct{}{}
-		<-e.yield
-	})
+	e.scheduleProc(t, p, false)
 }
 
 // wakeNow schedules p to resume at the current time.
@@ -261,20 +350,35 @@ func (e *Env) Run() Time { return e.runUntil(-1) }
 // aborting parked processes; Run or RunUntil may be called again.
 func (e *Env) RunUntil(t Time) Time { return e.runUntil(t) }
 
+// runUntil is the dispatch loop: pop the earliest event, advance the
+// clock, and run it. Process events (the common case) resume or launch
+// their goroutine directly; only At/After events call through fn.
+//
+//pcsi:hotpath
 func (e *Env) runUntil(limit Time) Time {
 	if e.running {
 		panic("sim: Run called re-entrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
+	defer e.stopRunning()
 	for len(e.queue) > 0 {
-		if limit >= 0 && e.queue.Peek().t > limit {
+		if limit >= 0 && e.queue.peek().t > limit {
 			e.now = limit
 			return e.now
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.now = ev.t
-		ev.fn()
+		e.dispatched++
+		switch {
+		case ev.proc == nil:
+			ev.fn()
+		case ev.start:
+			go ev.proc.main()
+			<-e.yield // wait until the new process parks or exits
+		default:
+			ev.proc.resume <- struct{}{}
+			<-e.yield
+		}
 	}
 	if limit < 0 {
 		e.shutdown()
@@ -284,13 +388,15 @@ func (e *Env) runUntil(limit Time) Time {
 	return e.now
 }
 
+func (e *Env) stopRunning() { e.running = false }
+
 // shutdown aborts every parked process, oldest park first. Each resumed
 // process removes itself from the parked list (in park) before it panics
 // with ErrAborted.
 func (e *Env) shutdown() {
 	e.closed = true
-	for len(e.parked) > 0 {
-		p := e.parked[0]
+	for e.parkedHead != nil {
+		p := e.parkedHead
 		p.resume <- struct{}{}
 		<-e.yield
 	}
@@ -298,6 +404,11 @@ func (e *Env) shutdown() {
 
 // Pending reports the number of events waiting in the queue.
 func (e *Env) Pending() int { return len(e.queue) }
+
+// Dispatched reports the total number of events popped from the queue and
+// run since the environment was created. The engine benchmark divides
+// wall-clock time and allocation counts by it.
+func (e *Env) Dispatched() uint64 { return e.dispatched }
 
 // LiveProcs reports the number of processes that have started and not yet
 // exited (including parked ones).

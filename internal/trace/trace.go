@@ -21,6 +21,7 @@ package trace
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/sim"
 )
@@ -165,7 +166,7 @@ func Of(env *sim.Env) *Tracer {
 	}
 	t := &Tracer{
 		env:   env,
-		label: fmt.Sprintf("run%d", len(c.tracers)+1),
+		label: "run" + strconv.Itoa(len(c.tracers)+1),
 		rng:   env.ObserverRand("trace.spanid"),
 		used:  make(map[SpanID]bool),
 	}

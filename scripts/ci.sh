@@ -47,4 +47,12 @@ go run ./cmd/pcsi-bench -run E13 > /tmp/e13-a.txt
 go run ./cmd/pcsi-bench -run E13 > /tmp/e13-b.txt
 cmp /tmp/e13-a.txt /tmp/e13-b.txt || { echo 'E13 not byte-identical across runs' >&2; exit 1; }
 
+echo '== engine microbenchmark (regression gate vs committed BENCH_engine.json)'
+# Fails (exit 1) if allocs/event regresses >10% or events/sec drops >10%
+# against the committed baseline. Writes the fresh run as an artifact so a
+# deliberate perf change can be reviewed and the baseline re-committed.
+go run ./cmd/pcsi-bench -engine \
+    -engine-baseline BENCH_engine.json \
+    -engine-out pcsi-bench-engine.json
+
 echo 'CI OK'
