@@ -13,6 +13,8 @@
 //	pcsi-bench -trace t.json # also export a Chrome/Perfetto trace
 //	pcsi-bench -faultrate .05 # run with stochastic fault injection + retries
 //	pcsi-bench -engine       # run the engine microbenchmark instead
+//	pcsi-bench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	                         # write pprof profiles of the run
 //
 // With -engine, pcsi-bench skips the experiments and instead runs the
 // deterministic engine microbenchmark (see engine.go): -engine-out writes
@@ -31,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -49,11 +53,46 @@ func main() {
 		engine    = flag.Bool("engine", false, "run the engine microbenchmark instead of the experiments")
 		engineOut = flag.String("engine-out", "", "with -engine: write the JSON result to this file")
 		engineBas = flag.String("engine-baseline", "", "with -engine: compare against this committed baseline and fail on >10% regression")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close() //nolint:errcheck
+		}()
+	}
+	if *memProf != "" {
+		// The heap profile is written on every exit path, including the
+		// os.Exit calls below, so profiled runs that fail still produce it.
+		defer writeHeapProfile(*memProf)
+		origExit := exit
+		exit = func(code int) {
+			pprof.StopCPUProfile()
+			writeHeapProfile(*memProf)
+			origExit(code)
+		}
+	} else if *cpuProf != "" {
+		origExit := exit
+		exit = func(code int) {
+			pprof.StopCPUProfile()
+			origExit(code)
+		}
+	}
+
 	if *engine {
-		os.Exit(engineBenchMain(*seed, *engineOut, *engineBas))
+		exit(engineBenchMain(*seed, *engineOut, *engineBas))
 	}
 
 	if *faultrate > 0 {
@@ -94,7 +133,7 @@ func main() {
 			for _, id := range unknown {
 				fmt.Fprintf(os.Stderr, "pcsi-bench: unknown experiment %q (try -list)\n", id)
 			}
-			os.Exit(2)
+			exit(2)
 		}
 	}
 
@@ -108,7 +147,7 @@ func main() {
 			rep, data, err = experiments.RunTraced(e.ID, *seed)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			traces = append(traces, data)
 			rep.Render(os.Stdout)
@@ -129,7 +168,7 @@ func main() {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		err = trace.Export(f, trace.Merge(traces...))
 		if cerr := f.Close(); err == nil {
@@ -137,13 +176,31 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("trace written to %s (load in Perfetto or chrome://tracing)\n", *traceFile)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "pcsi-bench: %d experiment(s) had failing shape checks\n", failures)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("all %d experiments reproduced their paper shapes\n", len(selected))
+}
+
+// exit routes every early termination through the profile writers: os.Exit
+// skips deferred functions, so profiled runs rebind it to flush first.
+var exit = os.Exit
+
+// writeHeapProfile snapshots the live heap into path in pprof format.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+		return
+	}
+	runtime.GC() // settle the final live set before sampling
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "pcsi-bench: %v\n", err)
+	}
+	f.Close() //nolint:errcheck
 }

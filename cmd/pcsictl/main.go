@@ -23,14 +23,21 @@
 //	invoke <fn> [-i tok,...] [-o tok,...] [body]
 //	stats                                      deployment counters
 //
-// Two commands run locally, without a daemon:
+// Three commands run locally, without a daemon, and share the same flag
+// surface (-seed, -o, -faultrate — identical names, defaults, and exit
+// codes everywhere):
 //
 //	trace <experiment> [-seed N] [-o file] [-faultrate R]
 //	                                           run traced, export Chrome JSON
 //	trace -verify <file>                       validate an exported trace
-//	chaos <experiment> [-seeds N] [-seed S] [-faultrate R]
+//	chaos <experiment> [-seed S] [-o file] [-faultrate R] [-seeds N] [-noretry]
 //	                                           seed-sweep with fault injection;
 //	                                           exits 1 on invariant violation
+//	dash <experiment> [-seed N] [-o file.html] [-faultrate R] [-json file]
+//	                                           run under the telemetry plane,
+//	                                           render the HTML dashboard and
+//	                                           JSON timeline (byte-identical
+//	                                           per experiment+seed)
 //
 // The exported trace file loads directly in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing; the trace command also
@@ -43,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -67,14 +75,17 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	// trace and chaos run the experiment harness in-process; no daemon
-	// needed.
-	if args[0] == "trace" {
+	// trace, chaos, and dash run the experiment harness in-process; no
+	// daemon needed.
+	switch args[0] {
+	case "trace":
 		traceCmd(args[1:])
 		return
-	}
-	if args[0] == "chaos" {
+	case "chaos":
 		chaosCmd(args[1:])
+		return
+	case "dash":
+		dashCmd(args[1:])
 		return
 	}
 	cl, err := pcsinet.Dial(addr)
@@ -264,29 +275,96 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// traceCmd implements `pcsictl trace`: run one experiment with the span
-// tracer on and export the Chrome trace_event JSON, or (with -verify)
-// validate a previously exported file.
-func traceCmd(args []string) {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	seed := fs.Int64("seed", 1, "simulation seed")
-	out := fs.String("o", "", "write trace JSON to this file (default stdout)")
-	verify := fs.String("verify", "", "validate an exported trace file instead of running")
-	faultrate := fs.Float64("faultrate", 0, "inject faults at this rate while tracing (0 = off)")
+// harnessFlags is the shared flag surface of the local harness commands
+// (trace, chaos, dash): the experiment ID is accepted before or after the
+// flags, and -seed, -o, and -faultrate are spelled, defaulted, and
+// documented identically everywhere. Command-specific flags register on FS
+// before ParseExp. All parse errors and missing-experiment cases exit 2;
+// runtime failures exit 1 via fatal.
+type harnessFlags struct {
+	FS        *flag.FlagSet
+	Seed      *int64
+	Out       *string
+	FaultRate *float64
+}
+
+func newHarnessFlags(name, seedUsage, outUsage string, defaultRate float64, usage ...string) *harnessFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pcsictl trace <experiment> [-seed N] [-o file] [-faultrate R]")
-		fmt.Fprintln(os.Stderr, "       pcsictl trace -verify <file>")
+		for _, l := range usage {
+			fmt.Fprintln(os.Stderr, l)
+		}
 		fs.PrintDefaults()
 	}
-	// Accept the experiment ID before or after the flags.
+	return &harnessFlags{
+		FS:        fs,
+		Seed:      fs.Int64("seed", 1, seedUsage),
+		Out:       fs.String("o", "", outUsage),
+		FaultRate: fs.Float64("faultrate", defaultRate, "stochastic fault injection rate (0 = off)"),
+	}
+}
+
+// ParseExp parses args and returns the experiment ID, which may appear
+// before or after the flags ("" when absent).
+func (h *harnessFlags) ParseExp(args []string) string {
 	var exp string
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		exp, args = args[0], args[1:]
 	}
-	fs.Parse(args) //nolint:errcheck // ExitOnError
-	if exp == "" && fs.NArg() > 0 {
-		exp = fs.Arg(0)
+	h.FS.Parse(args) //nolint:errcheck // ExitOnError
+	if exp == "" && h.FS.NArg() > 0 {
+		exp = h.FS.Arg(0)
 	}
+	return exp
+}
+
+// RequireExp is ParseExp for commands where the experiment is mandatory:
+// a missing ID prints usage and exits 2, like any other parse error.
+func (h *harnessFlags) RequireExp(args []string) string {
+	exp := h.ParseExp(args)
+	if exp == "" {
+		h.FS.Usage()
+		os.Exit(2)
+	}
+	return exp
+}
+
+// ActivateFaults turns stochastic fault injection on when -faultrate is
+// positive. The returned cleanup is safe to defer either way.
+func (h *harnessFlags) ActivateFaults() func() {
+	if *h.FaultRate <= 0 {
+		return func() {}
+	}
+	s := fault.Activate(fault.Spec{
+		Rates: fault.Uniform(*h.FaultRate),
+		Retry: fault.DefaultPolicy(),
+	})
+	return s.Deactivate
+}
+
+// OutWriter opens the -o file for writing, or returns stdout when unset.
+// The cleanup is safe to defer either way.
+func (h *harnessFlags) OutWriter() (io.Writer, func()) {
+	if *h.Out == "" {
+		return os.Stdout, func() {}
+	}
+	f, err := os.Create(*h.Out)
+	if err != nil {
+		fatal(err)
+	}
+	return f, func() { f.Close() } //nolint:errcheck
+}
+
+// traceCmd implements `pcsictl trace`: run one experiment with the span
+// tracer on and export the Chrome trace_event JSON, or (with -verify)
+// validate a previously exported file.
+func traceCmd(args []string) {
+	h := newHarnessFlags("trace",
+		"simulation seed", "write trace JSON to this file (default stdout)", 0,
+		"usage: pcsictl trace <experiment> [-seed N] [-o file] [-faultrate R]",
+		"       pcsictl trace -verify <file>")
+	verify := h.FS.String("verify", "", "validate an exported trace file instead of running")
+	exp := h.ParseExp(args)
 
 	if *verify != "" {
 		if err := verifyTrace(*verify); err != nil {
@@ -296,33 +374,20 @@ func traceCmd(args []string) {
 		return
 	}
 	if exp == "" {
-		fs.Usage()
+		h.FS.Usage()
 		os.Exit(2)
 	}
-	if *faultrate > 0 {
-		// Faults and retries show up as instants on the "fault" track.
-		s := fault.Activate(fault.Spec{
-			Rates: fault.Uniform(*faultrate),
-			Retry: fault.DefaultPolicy(),
-		})
-		defer s.Deactivate()
-	}
-	_, data, err := experiments.RunTraced(exp, *seed)
+	// Faults and retries show up as instants on the "fault" track.
+	defer h.ActivateFaults()()
+	_, data, err := experiments.RunTraced(exp, *h.Seed)
 	if err != nil {
 		fatal(err)
 	}
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
+	w, done := h.OutWriter()
 	if err := trace.Export(w, data); err != nil {
 		fatal(err)
 	}
+	done()
 	// The critical-path report goes to stderr so stdout stays pure JSON.
 	for _, run := range data.Runs {
 		rep := trace.CriticalPath(run)
@@ -331,51 +396,79 @@ func traceCmd(args []string) {
 		}
 		rep.Render(os.Stderr)
 	}
-	if *out != "" {
-		fmt.Fprintf(os.Stderr, "trace written to %s (load in Perfetto or chrome://tracing)\n", *out)
+	if *h.Out != "" {
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in Perfetto or chrome://tracing)\n", *h.Out)
 	}
 }
 
 // chaosCmd implements `pcsictl chaos`: sweep an experiment across seeds
-// under deterministic fault injection, render per-seed outcomes, and exit
-// nonzero if any invariant was violated. Identical invocations produce
-// byte-identical output.
+// under deterministic fault injection, render per-seed outcomes (violated
+// seeds carry their flight-recorder dump), and exit nonzero if any
+// invariant was violated. Identical invocations produce byte-identical
+// output.
 func chaosCmd(args []string) {
-	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
-	seeds := fs.Int("seeds", 5, "number of consecutive seeds to sweep")
-	base := fs.Int64("seed", 1, "first seed of the sweep")
-	faultrate := fs.Float64("faultrate", 0.05, "stochastic fault rate")
-	noretry := fs.Bool("noretry", false, "disable the default retry policy")
-	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pcsictl chaos <experiment> [-seeds N] [-seed S] [-faultrate R] [-noretry]")
-		fs.PrintDefaults()
-	}
-	// Accept the experiment ID before or after the flags.
-	var exp string
-	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
-		exp, args = args[0], args[1:]
-	}
-	fs.Parse(args) //nolint:errcheck // ExitOnError
-	if exp == "" && fs.NArg() > 0 {
-		exp = fs.Arg(0)
-	}
-	if exp == "" {
-		fs.Usage()
-		os.Exit(2)
-	}
+	h := newHarnessFlags("chaos",
+		"first seed of the sweep", "write the report to this file (default stdout)", 0.05,
+		"usage: pcsictl chaos <experiment> [-seed S] [-o file] [-faultrate R] [-seeds N] [-noretry]")
+	seeds := h.FS.Int("seeds", 5, "number of consecutive seeds to sweep")
+	noretry := h.FS.Bool("noretry", false, "disable the default retry policy")
+	exp := h.RequireExp(args)
 	rep, err := experiments.RunChaos(experiments.ChaosConfig{
 		Exp:       exp,
 		Seeds:     *seeds,
-		BaseSeed:  *base,
-		FaultRate: *faultrate,
+		BaseSeed:  *h.Seed,
+		FaultRate: *h.FaultRate,
 		NoRetry:   *noretry,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	rep.Render(os.Stdout)
+	w, done := h.OutWriter()
+	rep.Render(w)
+	done()
 	if !rep.InvariantsHeld() {
 		os.Exit(1)
+	}
+}
+
+// dashCmd implements `pcsictl dash`: run one experiment under the
+// telemetry plane and render the self-contained HTML dashboard plus the
+// machine-readable JSON timeline. Both outputs are byte-identical for
+// identical (experiment, seed).
+func dashCmd(args []string) {
+	h := newHarnessFlags("dash",
+		"simulation seed", "write the HTML dashboard to this file (default stdout)", 0,
+		"usage: pcsictl dash <experiment> [-seed N] [-o file.html] [-faultrate R] [-json file]")
+	jsonOut := h.FS.String("json", "", "write the JSON timeline to this file (default: -o with a .json extension)")
+	exp := h.RequireExp(args)
+	defer h.ActivateFaults()()
+	rep, tl, err := experiments.RunDash(exp, *h.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	// The experiment's own report goes to stderr so stdout stays pure HTML.
+	rep.Render(os.Stderr)
+	w, done := h.OutWriter()
+	if err := tl.WriteHTML(w); err != nil {
+		fatal(err)
+	}
+	done()
+	jp := *jsonOut
+	if jp == "" && *h.Out != "" {
+		jp = strings.TrimSuffix(*h.Out, filepath.Ext(*h.Out)) + ".json"
+	}
+	if jp != "" {
+		jf, err := os.Create(jp)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tl.WriteJSON(jf); err != nil {
+			fatal(err)
+		}
+		jf.Close() //nolint:errcheck
+	}
+	if *h.Out != "" {
+		fmt.Fprintf(os.Stderr, "dashboard written to %s (timeline: %s)\n", *h.Out, jp)
 	}
 }
 

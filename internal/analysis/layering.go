@@ -12,6 +12,7 @@ var (
 		"internal/sim", "internal/metrics", "internal/simnet", "internal/cluster",
 		"internal/platform", "internal/wire", "internal/cost", "internal/workload",
 		"internal/media", "internal/trace", "internal/fault", "internal/qos",
+		"internal/obs",
 	)
 
 	// faultDeps are the only packages internal/fault may import: the fault
@@ -33,6 +34,21 @@ var (
 		"internal/core", "internal/faas", "internal/taskgraph",
 		"pcsi", "internal/experiments",
 	)
+	// obsDeps are the only packages internal/obs may import: the telemetry
+	// plane samples metrics on virtual time and emits alert instants into
+	// the tracer, and nothing else — attaching a plane must never drag a
+	// domain layer in.
+	obsDeps = stringSet("internal/sim", "internal/metrics", "internal/trace")
+
+	// obsClients are the only packages that may import internal/obs: the
+	// layers that attach planes and record flight events (core, faas,
+	// taskgraph), the facade, the experiment harness, and the binaries that
+	// render dashboards. Everything else observes through the registry.
+	obsClients = stringSet(
+		"internal/core", "internal/faas", "internal/taskgraph",
+		"pcsi", "internal/experiments", "cmd/pcsictl", "cmd/pcsi-bench",
+	)
+
 	statePkgs = stringSet(
 		"internal/object", "internal/capability", "internal/store",
 		"internal/namespace", "internal/consistency", "internal/gc",
@@ -112,6 +128,10 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 		return
 	}
 	dep := relPath(pass.Module, path)
+	if dep == target {
+		// An external _test package importing the package under test.
+		return
+	}
 
 	switch {
 	case target == "internal/trace":
@@ -137,6 +157,14 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 		// classification, and the tracer. Metrics arrive as interfaces.
 		if !qosDeps[dep] {
 			pass.Report(imp.Pos(), "internal/qos may not import %s: the admission controller depends only on internal/sim, internal/cluster, internal/fault, and internal/trace; metrics are wired in as interfaces (DESIGN.md §3)", dep)
+			return
+		}
+	case target == "internal/obs":
+		// The telemetry plane is an observer: it reads the metric registry
+		// and the virtual clock and writes trace instants, so those three
+		// substrates are its whole dependency surface.
+		if !obsDeps[dep] {
+			pass.Report(imp.Pos(), "internal/obs may not import %s: the telemetry plane depends only on internal/sim, internal/metrics, and internal/trace so attaching it never perturbs a domain layer (DESIGN.md §3)", dep)
 			return
 		}
 	case substratePkgs[target]:
@@ -187,6 +215,10 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 	case "internal/qos":
 		if !qosClients[target] {
 			pass.Report(imp.Pos(), "%s may not import internal/qos: admission control is wired in by core, faas, and taskgraph; configure it through the pcsi facade", target)
+		}
+	case "internal/obs":
+		if !obsClients[target] {
+			pass.Report(imp.Pos(), "%s may not import internal/obs: telemetry planes are attached by core, faas, and taskgraph and rendered by the harness and binaries; export metrics through the registry instead", target)
 		}
 	}
 }

@@ -1,0 +1,9 @@
+// Package obsclient violates layering: telemetry planes are attached by
+// core, faas, and taskgraph and rendered by the harness and binaries —
+// arbitrary packages may not reach internal/obs directly.
+package obsclient
+
+import "fixture/internal/obs" // want: layering
+
+// Watch keeps the import used.
+func Watch(p *obs.Plane) { p.Sample() }

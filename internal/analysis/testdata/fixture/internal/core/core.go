@@ -7,6 +7,7 @@ import (
 	"errors"
 
 	"fixture/internal/object"
+	"fixture/internal/obs"
 	"fixture/internal/store"
 )
 
@@ -27,9 +28,12 @@ func Classify(err error) bool {
 	return errors.Is(err, ErrDenied)
 }
 
-// Client mediates every mutation behind a (stub) rights check.
+// Client mediates every mutation behind a (stub) rights check. The
+// telemetry plane import is legal here: core is a sanctioned obs client,
+// so the layering analyzer must stay silent on it.
 type Client struct {
-	st *store.Store
+	st    *store.Store
+	plane obs.Plane
 }
 
 // NewClient returns a client over st.

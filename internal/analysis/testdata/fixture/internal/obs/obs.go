@@ -1,0 +1,23 @@
+// Package obs violates its own layering rule: the telemetry plane may
+// import only internal/sim, internal/metrics, internal/trace, and the
+// stdlib — it observes the network through the metric registry, never by
+// importing the substrate it watches.
+package obs
+
+import (
+	"fixture/internal/metrics"
+	"fixture/internal/sim"
+	"fixture/internal/simnet" // want: layering
+)
+
+// Plane is a placeholder telemetry plane.
+type Plane struct {
+	Env  *sim.Env
+	seen metrics.Counter
+}
+
+// Sample keeps the imports used.
+func (p *Plane) Sample() {
+	_ = simnet.Hold
+	p.seen.Inc()
+}

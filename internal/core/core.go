@@ -35,6 +35,7 @@ import (
 	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/qos"
 	"repro/internal/scheduler"
@@ -121,9 +122,10 @@ type Cloud struct {
 	caps *capability.Registry
 	col  *gc.Collector
 
-	inj   *fault.Injector // nil outside chaos sessions
-	retry *fault.Policy   // nil = no retries
-	qos   *qos.Controller // nil = no admission control
+	inj      *fault.Injector // nil outside chaos sessions
+	retry    *fault.Policy   // nil = no retries
+	qos      *qos.Controller // nil = no admission control
+	obsPlane *obs.Plane      // nil outside obs sessions
 
 	fnRefs   map[string]Ref // function name -> code object ref
 	fnByCode map[object.ID]string
@@ -208,6 +210,12 @@ func New(opts Options) *Cloud {
 	}
 	c.reg.Register(c.DataLat)
 
+	// Telemetry plane (optional): an active obs session samples this
+	// cloud's registry on its own virtual clock. No session ⇒ nil plane ⇒
+	// every hook below is an inert nil check and the run stays
+	// byte-identical to an unobserved one.
+	c.obsPlane = obs.ActiveSession().Attach(env, c.reg, "pcsi/"+opts.Policy.String())
+
 	var plc faas.Placer
 	switch opts.Policy {
 	case PlaceNaive:
@@ -244,6 +252,7 @@ func New(opts Options) *Cloud {
 		c.rt.SetFailFast(true)
 		inj.Observe(func(n fault.Notice) {
 			trace.Of(env).Instant("fault", "fault", n.Kind, trace.Str("detail", n.Detail))
+			c.obsPlane.Record("fault", n.Kind, n.Detail)
 		})
 		inj.OnNodeDown(func(id simnet.NodeID, down bool) {
 			if down {
@@ -263,6 +272,7 @@ func New(opts Options) *Cloud {
 			c.retry.OnAttempt = func(op string, attempt int, err error, delay sim.Duration) {
 				c.RetryAttempts++
 				c.inj.Note("retry.attempt")
+				c.obsPlane.Record("retry", op, err.Error())
 				trace.Of(env).Instant("fault", "retry", op,
 					trace.Int("attempt", int64(attempt)),
 					trace.Str("err", err.Error()), trace.Str("delay", delay.String()))
@@ -316,12 +326,38 @@ func (c *Cloud) instrumentQoS() {
 		c.reg.Register(delay)
 		c.reg.Register(admitted)
 		c.reg.Register(shed)
+		// Per-tenant accounting: counters created lazily at first sight of
+		// a tenant, cached so the admission hot path pays one map lookup.
+		// The name concatenation runs once per (class, tenant).
+		prefix := "qos_" + class.String() + "_tenant_"
+		qlabel := "qos_" + class.String()
+		admitByTenant := make(map[string]*metrics.Counter)
+		shedByTenant := make(map[string]*metrics.Counter)
 		c.qos.Instrument(class, qos.Instruments{
 			QueueDepth: depth,
 			InFlight:   inflight,
 			QueueDelay: delay,
 			Admitted:   admitted,
 			Shed:       shed,
+			OnAdmit: func(now sim.Time, tenant string, delay sim.Duration) {
+				m := admitByTenant[tenant]
+				if m == nil {
+					m = metrics.NewCounter(prefix + tenant + "_admitted")
+					c.reg.Register(m)
+					admitByTenant[tenant] = m
+				}
+				m.Inc()
+			},
+			OnShed: func(now sim.Time, tenant, reason string) {
+				m := shedByTenant[tenant]
+				if m == nil {
+					m = metrics.NewCounter(prefix + tenant + "_shed")
+					c.reg.Register(m)
+					shedByTenant[tenant] = m
+				}
+				m.Inc()
+				c.obsPlane.Record("shed", qlabel, tenant+" "+reason)
+			},
 		})
 	}
 }
@@ -329,6 +365,10 @@ func (c *Cloud) instrumentQoS() {
 // QoS returns the admission controller, or nil when the deployment runs
 // without one.
 func (c *Cloud) QoS() *qos.Controller { return c.qos }
+
+// Obs returns the cloud's telemetry plane, or nil when no obs session was
+// active at construction.
+func (c *Cloud) Obs() *obs.Plane { return c.obsPlane }
 
 // Env returns the simulation environment.
 func (c *Cloud) Env() *sim.Env { return c.env }

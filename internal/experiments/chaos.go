@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // ChaosConfig parameterises a chaos sweep: one experiment re-run across a
@@ -32,6 +33,10 @@ type SeedOutcome struct {
 	Panic        string // non-empty if the experiment panicked (still deterministic)
 	Counters     []fault.Counter
 	Violations   []fault.Violation
+	// FlightDump is the flight recorder's recent window, captured only when
+	// the seed violated an invariant or panicked — the post-mortem context
+	// (sheds, faults, retries, alerts) leading up to the failure.
+	FlightDump string
 }
 
 // ChaosReport aggregates a sweep.
@@ -88,6 +93,11 @@ func (r *ChaosReport) Render(w io.Writer) {
 			violated++
 			fmt.Fprintf(w, "  INVARIANT VIOLATED [%s] %s\n", v.Check, v.Detail)
 		}
+		if o.FlightDump != "" {
+			for _, line := range strings.Split(strings.TrimRight(o.FlightDump, "\n"), "\n") {
+				fmt.Fprintf(w, "  | %s\n", line)
+			}
+		}
 	}
 	fmt.Fprintf(w, "\nexperiment checks: %d/%d seeds clean\n", passed, len(r.Outcomes))
 	if r.InvariantsHeld() {
@@ -128,6 +138,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 func runChaosSeed(e Experiment, seed int64, spec fault.Spec) SeedOutcome {
 	s := fault.Activate(spec)
 	defer s.Deactivate()
+	// Chaos seeds run with the telemetry plane on so that a violated seed
+	// comes with a flight-recorder dump of the moments before the failure.
+	// An already-active session (nested harnesses, tests) is reused.
+	osess := obs.ActiveSession()
+	if osess == nil {
+		osess = obs.Activate(obs.Config{})
+		defer osess.Deactivate()
+	}
 	out := SeedOutcome{Seed: seed}
 	r := func() (r *Report) {
 		defer func() {
@@ -143,6 +161,9 @@ func runChaosSeed(e Experiment, seed int64, spec fault.Spec) SeedOutcome {
 	s.HealAll()
 	out.Violations = s.RunChecks()
 	out.Counters = s.Counters()
+	if len(out.Violations) > 0 || out.Panic != "" {
+		out.FlightDump = osess.FlightDump()
+	}
 	if r != nil {
 		out.ExpPassed = r.Passed()
 		for _, c := range r.Checks {

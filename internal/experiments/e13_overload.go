@@ -12,6 +12,7 @@ import (
 	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/qos"
 	"repro/internal/restbase"
@@ -50,9 +51,39 @@ type e13Arm struct {
 	offered, attempts    int64
 	served, shed, failed int64
 	lat                  *metrics.Histogram
+	plane                *obs.Plane // nil when no obs session is active
 }
 
 func (a *e13Arm) goodput() float64 { return float64(a.served) / e13Window.Seconds() }
+
+// e13Objectives declares the per-arm SLOs evaluated by the telemetry
+// plane. The evaluation window [300ms, 2s] sits inside the load window
+// (load starts at ~100ms and stops at ~2.1s), so warm-up and drain ticks
+// never burn budget. The goodput floor burns on the failure share — typed
+// sheds are answers, not failures, so a QoS arm shedding hard at 4x stays
+// alert-free while the unguarded arm's placement failures and exhausted
+// retries page within the window.
+func e13Objectives() []obs.Objective {
+	return []obs.Objective{{
+		Name:    "goodput-floor",
+		Goodput: &obs.GoodputFloor{Served: "invocations", Failed: "invoke_failures"},
+		Budget:  0.2,
+		After:   300 * time.Millisecond,
+		Until:   e13Window,
+	}, {
+		Name:    "invoke-p99",
+		Latency: &obs.LatencyTarget{Metric: "invoke_latency", Quantile: 0.99, Max: 150 * time.Millisecond},
+		Budget:  0.25,
+		After:   300 * time.Millisecond,
+		Until:   e13Window,
+	}, {
+		Name:   "shed-ceiling",
+		Shed:   &obs.ShedCeiling{Shed: "qos_invoke_shed", Base: "qos_invoke_admitted"},
+		Budget: 0.9,
+		After:  300 * time.Millisecond,
+		Until:  e13Window,
+	}}
+}
 
 // e13PCSI drives one PCSI deployment at factor × capacity. Every arm gets
 // the same stock retry policy; the QoS arms never retry because
@@ -80,7 +111,13 @@ func e13PCSI(seed int64, factor float64, withQoS bool) (*e13Arm, qos.Stats) {
 	cloud := core.New(opts)
 	client := cloud.NewClient(0)
 	env := cloud.Env()
-	arm := &e13Arm{lat: metrics.NewHistogram("invoke")}
+	arm := &e13Arm{lat: metrics.NewHistogram("invoke"), plane: cloud.Obs()}
+	if withQoS {
+		arm.plane.SetLabel(fmt.Sprintf("pcsi+qos @%.1fx", factor))
+	} else {
+		arm.plane.SetLabel(fmt.Sprintf("pcsi no-qos @%.1fx", factor))
+	}
+	arm.plane.SetObjectives(e13Objectives()...)
 
 	var fnRef core.Ref
 	setup := env.NewEvent()
@@ -203,6 +240,15 @@ func runE13(seed int64) *Report {
 	r := &Report{ID: "E13", Title: "§4: overload — admission control vs retry storms and opaque 429s"}
 	factors := []float64{0.5, 1, 2, 4}
 
+	// The SLO shape checks need the telemetry plane; when no session is
+	// active (plain `pcsi-bench -run E13`), run under a private one.
+	// Under `pcsictl dash` or the chaos harness the caller's session is
+	// reused so its timeline sees every arm.
+	if obs.ActiveSession() == nil {
+		own := obs.Activate(obs.Config{})
+		defer own.Deactivate()
+	}
+
 	type qosRow struct {
 		factor float64
 		arm    *e13Arm
@@ -214,6 +260,7 @@ func runE13(seed int64) *Report {
 		sweep = append(sweep, qosRow{f, arm, st})
 	}
 	noqos, _ := e13PCSI(seed, 2, false)
+	noqos4, _ := e13PCSI(seed, 4, false)
 	rest1, thr1 := e13Rest(seed, 1)
 	rest2, thr2 := e13Rest(seed, 2)
 
@@ -244,12 +291,30 @@ func runE13(seed int64) *Report {
 	t2.Note("REST capacity is 400 rps (4 workers); each 429 also burns 1ms of worker time")
 	r.Tables = append(r.Tables, t2)
 
+	q4 := sweep[3]
+	t3 := metrics.NewTable("SLO burn-rate alerts at 4x offered load (telemetry plane, 50ms ticks)",
+		"Arm", "Objective", "Status", "First fire")
+	for _, row := range []struct {
+		name string
+		pl   *obs.Plane
+	}{{"PCSI + QoS", q4.arm.plane}, {"PCSI, no QoS", noqos4.plane}} {
+		for _, o := range row.pl.Objectives() {
+			status, first := "ok", "-"
+			if n := row.pl.FireCount(o.Name); n > 0 {
+				status = fmt.Sprintf("FIRED x%d", n)
+				first = metrics.FmtDuration(sim.Duration(e13FirstFire(row.pl, o.Name)))
+			}
+			t3.Row(row.name, o.Name, status, first)
+		}
+	}
+	t3.Note("goodput floor burns on failure share — typed sheds are answers, not failures")
+	r.Tables = append(r.Tables, t3)
+
 	// QoS keeps goodput at capacity under 2x overload.
 	r.Check("qos-goodput-at-2x", q2.arm.goodput() >= 0.9*e13Capacity,
 		"goodput %.0f rps >= 0.9x capacity (%.0f rps) at 2x offered load",
 		q2.arm.goodput(), e13Capacity)
 	// Queue bounds + deadline shedding keep the tail flat even at 4x.
-	q4 := sweep[3]
 	r.Check("qos-p99-bounded", q2.arm.lat.P99() <= 150*time.Millisecond && q4.arm.lat.P99() <= 150*time.Millisecond,
 		"p99 %v at 2x, %v at 4x — within queue-delay budget + service time",
 		metrics.FmtDuration(q2.arm.lat.P99()), metrics.FmtDuration(q4.arm.lat.P99()))
@@ -279,5 +344,31 @@ func runE13(seed int64) *Report {
 	r.Check("rest-goodput-collapses", rest2.goodput() < 0.7*rest1.goodput() && ampRest >= 1.5,
 		"REST goodput falls from %.0f rps at 1x to %.0f rps at 2x (%.1fx attempt amplification)",
 		rest1.goodput(), rest2.goodput(), ampRest)
+	// The burn-rate alerter pages on the unguarded arm's failure storm —
+	// inside the overload window, not during warm-up or drain.
+	r.Check("obs-noqos-goodput-alert",
+		noqos4.plane.FiredBetween("goodput-floor", sim.Time(100*time.Millisecond), sim.Time(e13Window+200*time.Millisecond)),
+		"no-QoS @4x fires the goodput-floor burn-rate alert during the overload window (first at %v)",
+		metrics.FmtDuration(sim.Duration(e13FirstFire(noqos4.plane, "goodput-floor"))))
+	// Admission control keeps every SLO green across the whole sweep: sheds
+	// are typed answers and the p99 stays inside the queue-delay budget.
+	qosFires := 0
+	for _, row := range sweep {
+		qosFires += row.arm.plane.FireCount("")
+	}
+	r.Check("obs-qos-alert-free", qosFires == 0,
+		"%d burn-rate alerts across the QoS sweep (0.5x-4x) — admission control holds every objective",
+		qosFires)
 	return r
+}
+
+// e13FirstFire returns the virtual time of the objective's first "fire"
+// transition, or 0 when it never fired.
+func e13FirstFire(pl *obs.Plane, objective string) sim.Time {
+	for _, a := range pl.Alerts() {
+		if a.Kind == "fire" && a.Objective == objective {
+			return a.At
+		}
+	}
+	return 0
 }

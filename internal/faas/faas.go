@@ -203,6 +203,11 @@ type Runtime struct {
 	WarmStarts  *metrics.Counter
 	Invocations *metrics.Counter
 	Preemptions *metrics.Counter
+	// InvokeFails counts invocations that failed after admission —
+	// placement errors and fail-fast node deaths. Typed sheds are not
+	// failures (a shed is an answer), so SLO burn rates can separate
+	// "degraded by design" from "broken".
+	InvokeFails *metrics.Counter
 	InvokeLat   *metrics.Histogram
 	Meter       *cost.Meter
 	// NodeFailKills counts instances lost to injected node failures.
@@ -238,6 +243,7 @@ func NewRuntime(cl *cluster.Cluster, plc Placer, cfg Config) *Runtime {
 		WarmStarts:  metrics.NewCounter("warm_starts"),
 		Invocations: metrics.NewCounter("invocations"),
 		Preemptions: metrics.NewCounter("preemptions"),
+		InvokeFails: metrics.NewCounter("invoke_failures"),
 		InvokeLat:   metrics.NewHistogram("invoke_latency"),
 		Meter:       cost.NewMeter("faas"),
 	}
@@ -245,6 +251,7 @@ func NewRuntime(cl *cluster.Cluster, plc Placer, cfg Config) *Runtime {
 	reg.Register(rt.WarmStarts)
 	reg.Register(rt.Invocations)
 	reg.Register(rt.Preemptions)
+	reg.Register(rt.InvokeFails)
 	reg.Register(rt.InvokeLat)
 	if cfg.IdleTimeout > 0 {
 		rt.startReaper()
@@ -308,6 +315,7 @@ func (rt *Runtime) Invoke(p *sim.Proc, name string, body []byte, hints Placement
 	inst, err := rt.acquire(p, fn, hints)
 	qsp.Close(p)
 	if err != nil {
+		rt.InvokeFails.Inc()
 		sp.Annotate(trace.Str("err", err.Error()))
 		sp.Close(p)
 		return nil, err
@@ -334,6 +342,9 @@ func (rt *Runtime) Invoke(p *sim.Proc, name string, body []byte, hints Placement
 		herr = fn.Handler(inv)
 	}
 	xsp.Close(p)
+	if herr != nil {
+		rt.InvokeFails.Inc()
+	}
 	took := p.Now().Sub(busyFrom)
 	inst.busy += took
 	rt.BusySeconds += took.Seconds()

@@ -53,7 +53,13 @@ func bucketMid(b int) time.Duration {
 	if b == zeroBucket {
 		return 0
 	}
-	return time.Duration(math.Pow(10, (float64(b)+0.5)/bucketsPerDecade))
+	// Observations within half a bucket of MaxInt64 land in a bucket whose
+	// midpoint overflows int64; saturate so quantiles stay monotone.
+	v := math.Pow(10, (float64(b)+0.5)/bucketsPerDecade)
+	if v >= math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(v)
 }
 
 // Observe records one duration. Negative durations cannot occur in virtual

@@ -1,0 +1,171 @@
+// Snapshot types: immutable, mergeable copies of the live metrics, built
+// for the observability sampler (internal/obs). A sampler that runs at a
+// fixed virtual-time interval wants three operations the live types do not
+// offer: a cheap point-in-time copy (Snapshot), the difference of two
+// copies to isolate one window (Delta), and recombination of windows into
+// larger ones (Merge).
+//
+// HistSnapshot deliberately drops the exact min/max the live Histogram
+// tracks: quantiles are answered from bucket midpoints alone. That loses
+// the end-point clamping Histogram.Quantile performs but buys algebraic
+// closure — Merge is associative and Delta(prev) is exact, which the
+// property tests in snapshot_test.go pin down.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Bucket is one (bucket index, count) cell of a histogram snapshot.
+type Bucket struct {
+	B int   // logarithmic bucket index (zeroBucket for the zero bucket)
+	N int64 // observations in the bucket
+}
+
+// HistSnapshot is an immutable copy of a histogram's bucket counts, sorted
+// by bucket index. The zero value is an empty snapshot.
+type HistSnapshot struct {
+	Buckets []Bucket // ascending by B
+	Total   int64
+	Sum     time.Duration
+}
+
+// Snapshot copies the histogram's current state. The result shares no
+// storage with the live histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Total: h.total, Sum: h.sum}
+	if len(h.counts) == 0 {
+		return s
+	}
+	s.Buckets = make([]Bucket, 0, len(h.counts))
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		s.Buckets = append(s.Buckets, Bucket{B: k, N: h.counts[k]})
+	}
+	return s
+}
+
+// Merge returns the combination of two windows: counts added bucket-wise,
+// totals and sums added. Merge is associative and commutative, with the
+// empty snapshot as identity.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Total: s.Total + o.Total, Sum: s.Sum + o.Sum}
+	out.Buckets = make([]Bucket, 0, len(s.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) && j < len(o.Buckets) {
+		a, b := s.Buckets[i], o.Buckets[j]
+		switch {
+		case a.B < b.B:
+			out.Buckets = append(out.Buckets, a)
+			i++
+		case a.B > b.B:
+			out.Buckets = append(out.Buckets, b)
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{B: a.B, N: a.N + b.N})
+			i, j = i+1, j+1
+		}
+	}
+	out.Buckets = append(out.Buckets, s.Buckets[i:]...)
+	out.Buckets = append(out.Buckets, o.Buckets[j:]...)
+	if len(out.Buckets) == 0 {
+		out.Buckets = nil
+	}
+	return out
+}
+
+// Delta returns the window s minus prev, where prev must be an earlier
+// snapshot of the same histogram (every prev bucket count <= the matching
+// s count). It is the inverse of Merge: prev.Merge(s.Delta(prev)) == s.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Total: s.Total - prev.Total, Sum: s.Sum - prev.Sum}
+	j := 0
+	for _, b := range s.Buckets {
+		n := b.N
+		for j < len(prev.Buckets) && prev.Buckets[j].B < b.B {
+			j++
+		}
+		if j < len(prev.Buckets) && prev.Buckets[j].B == b.B {
+			n -= prev.Buckets[j].N
+			j++
+		}
+		if n > 0 {
+			out.Buckets = append(out.Buckets, Bucket{B: b.B, N: n})
+		}
+	}
+	return out
+}
+
+// Count returns the number of observations in the window.
+func (s HistSnapshot) Count() int64 { return s.Total }
+
+// Mean returns the average observation in the window, or 0 when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Total)
+}
+
+// Quantile approximates the q-th quantile of the window from bucket
+// midpoints (no exact min/max clamping — see the package comment).
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.N
+		if seen >= rank {
+			return bucketMid(b.B)
+		}
+	}
+	return bucketMid(s.Buckets[len(s.Buckets)-1].B)
+}
+
+// P50, P95 and P99 are convenience quantile accessors.
+func (s HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P95 returns the windowed 95th percentile.
+func (s HistSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+
+// P99 returns the windowed 99th percentile.
+func (s HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// CounterSnapshot is a point-in-time copy of a Counter.
+type CounterSnapshot struct {
+	N     int64
+	Bytes int64
+}
+
+// Snapshot copies the counter's current state.
+func (c *Counter) Snapshot() CounterSnapshot {
+	return CounterSnapshot{N: c.n, Bytes: c.bytes}
+}
+
+// Delta returns the window s minus prev (an earlier snapshot of the same
+// counter).
+func (s CounterSnapshot) Delta(prev CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{N: s.N - prev.N, Bytes: s.Bytes - prev.Bytes}
+}
+
+// GaugeSnapshot is a point-in-time copy of a Gauge's level and peak.
+type GaugeSnapshot struct {
+	Level float64
+	Max   float64
+}
+
+// Snapshot copies the gauge's current level and high-water mark.
+func (g *Gauge) Snapshot() GaugeSnapshot {
+	return GaugeSnapshot{Level: g.level, Max: g.maxLevel}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestRingDownsamplesToCapacity(t *testing.T) {
+	r := newRing(16, aggMean)
+	for i := 1; i <= 1000; i++ {
+		r.push(sim.Time(i)*sim.Time(time.Millisecond), float64(i))
+	}
+	pts := r.points()
+	if len(pts) > 16 {
+		t.Fatalf("ring holds %d points, capacity 16", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Fatalf("timestamps not increasing: %v then %v", pts[i-1].T, pts[i].T)
+		}
+	}
+	// The whole timeline must stay covered: the final pushed sample's
+	// timestamp survives folding (folded points keep the later stamp).
+	if last := pts[len(pts)-1].T; last != sim.Time(1000*time.Millisecond) {
+		t.Fatalf("last point at %v, want 1s", last)
+	}
+}
+
+func TestRingMeanFolds(t *testing.T) {
+	r := newRing(4, aggMean)
+	// Capacity 4 with 4 pushes triggers one compaction to stride 2.
+	for i, v := range []float64{10, 20, 30, 50} {
+		r.push(sim.Time(i+1), v)
+	}
+	pts := r.points()
+	if len(pts) != 2 || pts[0].V != 15 || pts[1].V != 40 {
+		t.Fatalf("folded points = %+v, want means 15 and 40", pts)
+	}
+}
+
+func TestRingMaxAggKeepsSpikes(t *testing.T) {
+	r := newRing(8, aggMax)
+	for i := 1; i <= 640; i++ {
+		v := 1.0
+		if i == 333 {
+			v = 99 // one spike must survive every fold
+		}
+		r.push(sim.Time(i), v)
+	}
+	max := 0.0
+	for _, p := range r.points() {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	if max != 99 {
+		t.Fatalf("spike lost in downsampling: max = %v", max)
+	}
+}
+
+func TestRecorderEvictionOrder(t *testing.T) {
+	r := newRecorder(4, time.Hour)
+	for i := 1; i <= 6; i++ {
+		r.Record(FlightEvent{At: sim.Time(i), Kind: "k", Name: string(rune('a' - 1 + i))})
+	}
+	if r.Len() != 4 || r.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 4 and 2", r.Len(), r.Dropped())
+	}
+	got := ""
+	for _, ev := range r.Events() {
+		got += ev.Name
+	}
+	if got != "cdef" {
+		t.Fatalf("events = %q, want oldest-first cdef", got)
+	}
+}
+
+func TestRecorderRecentWindow(t *testing.T) {
+	r := newRecorder(16, 5*time.Second)
+	r.Record(FlightEvent{At: sim.Time(1 * time.Second), Name: "old"})
+	r.Record(FlightEvent{At: sim.Time(8 * time.Second), Name: "new"})
+	recent := r.Recent(sim.Time(10 * time.Second))
+	if len(recent) != 1 || recent[0].Name != "new" {
+		t.Fatalf("recent = %+v, want only the event inside the 5s window", recent)
+	}
+	if dump := r.Dump(sim.Time(10 * time.Second)); dump == "" {
+		t.Fatal("dump empty with events in window")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(FlightEvent{})
+	if r.Len() != 0 || r.Dump(0) != "" || r.Events() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}

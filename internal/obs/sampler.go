@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Point is one sampled value at a virtual-time instant.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// aggKind selects how a downsampling ring folds adjacent points together:
+// means for rates and levels, maxima for quantile series (a latency spike
+// must survive downsampling, not be averaged away).
+type aggKind uint8
+
+const (
+	aggMean aggKind = iota
+	aggMax
+)
+
+// ring is a fixed-capacity downsampling buffer. It starts at full
+// resolution (stride 1: every push is a point); when the buffer fills, it
+// folds adjacent pairs in place and doubles the stride, so an arbitrarily
+// long run always fits in at most cap points covering the whole timeline
+// at uniform (halved) resolution — the classic trick for bounded-memory
+// telemetry of unknown-length runs.
+type ring struct {
+	capacity int
+	stride   int
+	agg      aggKind
+	pts      []Point
+	// partial accumulator for the in-progress stride group
+	accN int
+	accT sim.Time
+	accV float64
+}
+
+func newRing(capacity int, agg aggKind) ring {
+	return ring{capacity: capacity, stride: 1, agg: agg}
+}
+
+func (r *ring) push(t sim.Time, v float64) {
+	if r.accN == 0 || (r.agg == aggMax && v > r.accV) {
+		r.accV = v
+	} else if r.agg == aggMean {
+		r.accV += v
+	}
+	r.accT = t
+	r.accN++
+	if r.accN < r.stride {
+		return
+	}
+	v = r.accV
+	if r.agg == aggMean {
+		v /= float64(r.stride)
+	}
+	r.pts = append(r.pts, Point{T: r.accT, V: v})
+	r.accN = 0
+	if len(r.pts) >= r.capacity {
+		r.compact()
+	}
+}
+
+// compact folds adjacent point pairs, halving the buffer and doubling the
+// stride. Each folded point keeps the later timestamp (samples are
+// trailing-edge readings: the value as of T).
+func (r *ring) compact() {
+	half := len(r.pts) / 2
+	for i := 0; i < half; i++ {
+		a, b := r.pts[2*i], r.pts[2*i+1]
+		v := (a.V + b.V) / 2
+		if r.agg == aggMax && a.V > b.V {
+			v = a.V
+		} else if r.agg == aggMax {
+			v = b.V
+		}
+		r.pts[i] = Point{T: b.T, V: v}
+	}
+	r.pts = r.pts[:half]
+	r.stride *= 2
+}
+
+// points returns the buffered points plus the partial accumulator (so the
+// tail of a run is never invisible), oldest first.
+func (r *ring) points() []Point {
+	out := append([]Point(nil), r.pts...)
+	if r.accN > 0 {
+		v := r.accV
+		if r.agg == aggMean {
+			v /= float64(r.accN)
+		}
+		out = append(out, Point{T: r.accT, V: v})
+	}
+	return out
+}
+
+// Series is one sampled time series: a metric's stat over virtual time.
+type Series struct {
+	Metric string // registry metric name
+	Stat   string // "rate" | "level" | "p50" | "p95" | "p99"
+	Unit   string // "/s" | "" | "ns"
+	ring   ring
+}
+
+// Points returns the series' samples oldest-first. Downsampling may have
+// folded early points; timestamps are always strictly increasing.
+func (s *Series) Points() []Point { return s.ring.points() }
+
+func (s *Series) push(t sim.Time, v float64) { s.ring.push(t, v) }
+
+func sortSeries(ss []*Series) {
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].Metric != ss[j].Metric {
+			return ss[i].Metric < ss[j].Metric
+		}
+		return ss[i].Stat < ss[j].Stat
+	})
+}

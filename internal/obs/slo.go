@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Objective is one declarative SLO. Exactly one of Latency, Goodput, or
+// Shed must be set; the others parameterise Google-SRE-style multi-window
+// burn-rate alerting: each sampler tick is scored with a bad-event
+// fraction, the fraction is divided by the error Budget to get a burn
+// rate, and the alert fires when both the short- and the long-window mean
+// burn rate reach Threshold — the short window gives fast detection, the
+// long window keeps one bad tick from paging.
+type Objective struct {
+	Name   string
+	Tenant string // display only; "" for whole-plane objectives
+
+	Latency *LatencyTarget
+	Goodput *GoodputFloor
+	Shed    *ShedCeiling
+
+	Budget     float64 // allowed bad fraction per tick; 0 = 0.1
+	Threshold  float64 // burn-rate level that alerts; 0 = 1
+	ShortTicks int     // fast window, in sampler ticks; 0 = 5
+	LongTicks  int     // slow window, in sampler ticks; 0 = 20
+
+	// After/Until bound evaluation in virtual time (measured from the
+	// epoch), so warm-up and drain phases do not burn budget. Zero Until
+	// means forever.
+	After sim.Duration
+	Until sim.Duration
+}
+
+// LatencyTarget scores a tick bad (fraction 1) when the Metric histogram's
+// windowed Quantile exceeds Max. Ticks with an empty window score 0.
+type LatencyTarget struct {
+	Metric   string // histogram name in the registry
+	Quantile float64
+	Max      sim.Duration
+}
+
+// GoodputFloor scores a tick by the failure share failed/(served+failed),
+// using the per-tick window counts of the two named metrics (histogram
+// window count or counter delta). Typed sheds are deliberately not
+// failures — a shed is an answer. If MinRate > 0, a tick whose served
+// rate (events/sec) falls below it scores 1 regardless of the share.
+type GoodputFloor struct {
+	Served  string
+	Failed  string
+	MinRate float64
+}
+
+// ShedCeiling scores a tick by the shed share shed/(shed+base) of the two
+// named metrics' per-tick deltas — the budget is the tolerable shed share.
+type ShedCeiling struct {
+	Shed string
+	Base string
+}
+
+// Target renders the objective's target as a human-readable phrase for
+// dashboards and reports.
+func (o Objective) Target() string {
+	switch {
+	case o.Latency != nil:
+		return fmt.Sprintf("p%g(%s) <= %s within [%s, %s]",
+			o.Latency.Quantile*100, o.Latency.Metric, o.Latency.Max, o.After, untilStr(o.Until))
+	case o.Goodput != nil:
+		t := fmt.Sprintf("failure share %s/(%s+%s) <= %g%%",
+			o.Goodput.Failed, o.Goodput.Served, o.Goodput.Failed, o.budget()*100)
+		if o.Goodput.MinRate > 0 {
+			t += fmt.Sprintf(", served >= %g/s", o.Goodput.MinRate)
+		}
+		return t
+	case o.Shed != nil:
+		return fmt.Sprintf("shed share %s/(%s+%s) <= %g%%",
+			o.Shed.Shed, o.Shed.Shed, o.Shed.Base, o.budget()*100)
+	}
+	return "(no target)"
+}
+
+func untilStr(d sim.Duration) string {
+	if d == 0 {
+		return "end"
+	}
+	return d.String()
+}
+
+func (o Objective) budget() float64 {
+	if o.Budget > 0 {
+		return o.Budget
+	}
+	return 0.1
+}
+
+func (o Objective) threshold() float64 {
+	if o.Threshold > 0 {
+		return o.Threshold
+	}
+	return 1
+}
+
+func (o Objective) shortTicks() int {
+	if o.ShortTicks > 0 {
+		return o.ShortTicks
+	}
+	return 5
+}
+
+func (o Objective) longTicks() int {
+	if o.LongTicks > 0 {
+		return o.LongTicks
+	}
+	return 20
+}
+
+// Alert is one burn-rate alert transition. Fire and resolve instants are
+// also emitted into the trace (category "obs.slo") and the flight
+// recorder.
+type Alert struct {
+	At        sim.Time
+	Objective string
+	Tenant    string
+	Kind      string // "fire" | "resolve"
+	ShortBurn float64
+	LongBurn  float64
+}
+
+// objectiveState is the per-plane evaluation state of one objective: a
+// circular buffer of per-tick burn rates sized to the long window.
+type objectiveState struct {
+	obj    Objective
+	burns  []float64
+	idx    int
+	n      int
+	firing bool
+}
+
+// SetObjectives replaces the plane's objective set. Call before the first
+// sampler tick (objectives installed mid-run would see a truncated burn
+// history). Safe on a nil plane.
+func (pl *Plane) SetObjectives(objs ...Objective) {
+	if pl == nil {
+		return
+	}
+	pl.objectives = pl.objectives[:0]
+	for _, o := range objs {
+		pl.objectives = append(pl.objectives, &objectiveState{
+			obj:   o,
+			burns: make([]float64, o.longTicks()),
+		})
+	}
+}
+
+// Objectives returns the plane's objectives in installation order.
+func (pl *Plane) Objectives() []Objective {
+	if pl == nil {
+		return nil
+	}
+	out := make([]Objective, 0, len(pl.objectives))
+	for _, st := range pl.objectives {
+		out = append(out, st.obj)
+	}
+	return out
+}
+
+// Alerts returns every alert transition so far, in virtual-time order.
+func (pl *Plane) Alerts() []Alert {
+	if pl == nil {
+		return nil
+	}
+	return pl.alerts
+}
+
+// FireCount returns the number of "fire" transitions for the named
+// objective ("" counts every objective).
+func (pl *Plane) FireCount(objective string) int {
+	n := 0
+	for _, a := range pl.Alerts() {
+		if a.Kind == "fire" && (objective == "" || a.Objective == objective) {
+			n++
+		}
+	}
+	return n
+}
+
+// FiredBetween reports whether the named objective fired in [from, to].
+func (pl *Plane) FiredBetween(objective string, from, to sim.Time) bool {
+	for _, a := range pl.Alerts() {
+		if a.Kind == "fire" && a.Objective == objective && a.At >= from && a.At <= to {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate scores every objective against the tick just sampled and
+// records fire/resolve transitions.
+func (pl *Plane) evaluate(now sim.Time) {
+	for _, st := range pl.objectives {
+		burn := st.obj.badFraction(pl, now) / st.obj.budget()
+		st.burns[st.idx] = burn
+		st.idx = (st.idx + 1) % len(st.burns)
+		st.n++
+		// Both windows must exceed the threshold, and the long window must
+		// be fully populated — otherwise a single early bad tick would
+		// dominate a mostly-empty average and page during warm-up.
+		firing := st.n >= st.obj.longTicks() &&
+			st.avg(st.obj.shortTicks()) >= st.obj.threshold() &&
+			st.avg(st.obj.longTicks()) >= st.obj.threshold()
+		if firing != st.firing {
+			st.firing = firing
+			kind := "resolve"
+			if firing {
+				kind = "fire"
+			}
+			a := Alert{
+				At:        now,
+				Objective: st.obj.Name,
+				Tenant:    st.obj.Tenant,
+				Kind:      kind,
+				ShortBurn: st.avg(st.obj.shortTicks()),
+				LongBurn:  st.avg(st.obj.longTicks()),
+			}
+			pl.alerts = append(pl.alerts, a)
+			detail := fmt.Sprintf("burn short=%.2f long=%.2f", a.ShortBurn, a.LongBurn)
+			pl.Record("alert", kind+":"+st.obj.Name, detail)
+			trace.Of(pl.env).Instant("obs", "obs.slo", "slo:"+st.obj.Name+":"+kind,
+				trace.Str("detail", detail), trace.Str("tenant", st.obj.Tenant))
+		}
+	}
+}
+
+// avg returns the mean burn over the last w ticks (w <= len(burns)).
+func (st *objectiveState) avg(w int) float64 {
+	if st.n < w {
+		w = st.n
+	}
+	if w == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i <= w; i++ {
+		sum += st.burns[(st.idx-i+len(st.burns))%len(st.burns)]
+	}
+	return sum / float64(w)
+}
+
+// badFraction scores the tick just sampled in [0, 1].
+func (o Objective) badFraction(pl *Plane, now sim.Time) float64 {
+	if now < sim.Time(o.After) {
+		return 0
+	}
+	if o.Until > 0 && now > sim.Time(o.Until) {
+		return 0
+	}
+	switch {
+	case o.Latency != nil:
+		win, ok := pl.lastWindow[o.Latency.Metric]
+		if !ok || win.Total == 0 {
+			return 0
+		}
+		if win.Quantile(o.Latency.Quantile) > o.Latency.Max {
+			return 1
+		}
+		return 0
+	case o.Goodput != nil:
+		served := pl.lastDelta[o.Goodput.Served]
+		failed := pl.lastDelta[o.Goodput.Failed]
+		if o.Goodput.MinRate > 0 && pl.rate(served) < o.Goodput.MinRate {
+			return 1
+		}
+		if served+failed == 0 {
+			return 0
+		}
+		return failed / (served + failed)
+	case o.Shed != nil:
+		shed := pl.lastDelta[o.Shed.Shed]
+		base := pl.lastDelta[o.Shed.Base]
+		if shed+base == 0 {
+			return 0
+		}
+		return shed / (shed + base)
+	}
+	return 0
+}

@@ -186,6 +186,13 @@ type Instruments struct {
 	// Admitted and Shed count admission outcomes.
 	Admitted Counter
 	Shed     Counter
+	// OnAdmit, when set, is called after each admission with the tenant
+	// and the request's queueing delay — the hook the telemetry plane
+	// uses for per-tenant accounting without qos importing it.
+	OnAdmit func(now sim.Time, tenant string, delay sim.Duration)
+	// OnShed, when set, is called after each shed with the tenant and
+	// the reason ("queue-full" | "deadline" | "codel").
+	OnShed func(now sim.Time, tenant, reason string)
 }
 
 // Controller is the admission-control plane of one deployment. A nil
@@ -362,7 +369,7 @@ func (q *Controller) Admit(p *sim.Proc, req Request) (Grant, error) {
 		start := math.Max(c.vtime, t.lastFinish)
 		t.lastFinish = start + 1/t.weight
 		c.vtime = start
-		return q.admitNow(c, now, 0), nil
+		return q.admitNow(c, now, t.name, 0), nil
 	}
 
 	if c.cfg.MaxQueue > 0 && len(t.q) >= c.cfg.MaxQueue {
@@ -420,13 +427,16 @@ func (g Grant) Release() {
 }
 
 // admitNow books an in-flight slot at time now.
-func (q *Controller) admitNow(c *classQ, now sim.Time, delay sim.Duration) Grant {
+func (q *Controller) admitNow(c *classQ, now sim.Time, tenant string, delay sim.Duration) Grant {
 	c.inflight++
 	c.stats.Admitted++
 	counterInc(c.ins.Admitted)
 	gaugeAdd(c.ins.InFlight, now, 1)
 	if c.ins.QueueDelay != nil {
 		c.ins.QueueDelay.Observe(delay)
+	}
+	if c.ins.OnAdmit != nil {
+		c.ins.OnAdmit(now, tenant, delay)
 	}
 	return Grant{q: q, c: c, admitAt: now}
 }
@@ -456,7 +466,7 @@ func (q *Controller) dispatch(c *classQ) {
 		// The grant travels back through Admit's own return, not the
 		// completion value; completing with nil avoids boxing a Grant
 		// into the event's any slot on every dispatch.
-		q.admitNow(c, now, sojourn)
+		q.admitNow(c, now, w.tenant.name, sojourn)
 		w.ev.Complete(nil)
 	}
 }
@@ -542,6 +552,9 @@ func (q *Controller) recordShed(c *classQ, tenant, reason string) {
 		c.stats.ShedCoDel++
 	}
 	counterInc(c.ins.Shed)
+	if c.ins.OnShed != nil {
+		c.ins.OnShed(q.env.Now(), tenant, reason)
+	}
 	trace.Of(q.env).Instant("qos", "qos", "shed",
 		trace.Str("class", c.class.String()), trace.Str("tenant", tenant),
 		trace.Str("reason", reason))

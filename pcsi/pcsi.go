@@ -41,6 +41,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/fault"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/qos"
 	"repro/internal/sim"
@@ -108,6 +109,33 @@ type (
 	QoSClassConfig = qos.ClassConfig
 	// QoSStats snapshots one class's admission counters.
 	QoSStats = qos.Stats
+	// ObsConfig configures the virtual-time telemetry plane (sampling
+	// interval, series capacity, flight recorder, default SLOs). Pass it
+	// to ActivateObs; clouds built while the session is active each get a
+	// telemetry Plane (Cloud.Obs()).
+	ObsConfig = obs.Config
+	// ObsSession is an active telemetry session.
+	ObsSession = obs.Session
+	// ObsPlane is one deployment's telemetry: sampled series, SLO alert
+	// log, and flight recorder. All methods are safe on a nil plane, so
+	// callers never branch on whether telemetry is on.
+	ObsPlane = obs.Plane
+	// SLO is one declarative objective with multi-window burn-rate
+	// alerting (latency quantile target, goodput floor, or shed ceiling).
+	SLO = obs.Objective
+	// SLOLatency targets a histogram quantile (SLO.Latency).
+	SLOLatency = obs.LatencyTarget
+	// SLOGoodput sets a goodput floor on the failure share (SLO.Goodput).
+	SLOGoodput = obs.GoodputFloor
+	// SLOShed caps the shed share of admission decisions (SLO.Shed).
+	SLOShed = obs.ShedCeiling
+	// SLOAlert is one fire/resolve transition of an SLO.
+	SLOAlert = obs.Alert
+	// FlightEvent is one flight-recorder entry.
+	FlightEvent = obs.FlightEvent
+	// ObsTimeline is a session's exportable dump; WriteHTML renders the
+	// static dashboard and WriteJSON the machine-readable timeline.
+	ObsTimeline = obs.Timeline
 )
 
 // ErrOverload is returned by admission-controlled operations when load is
@@ -124,6 +152,11 @@ const (
 // ActivateFaults installs a process-global fault-injection session; clouds
 // built while it is active inject per spec. Deactivate it when done.
 func ActivateFaults(spec FaultSpec) *FaultSession { return fault.Activate(spec) }
+
+// ActivateObs installs a process-global telemetry session; clouds built
+// while it is active sample their metrics on virtual time, evaluate SLO
+// burn rates, and keep a flight recorder. Deactivate it when done.
+func ActivateObs(cfg ObsConfig) *ObsSession { return obs.Activate(cfg) }
 
 // DefaultRetryPolicy is the stock chaos-mode retry policy.
 func DefaultRetryPolicy() *RetryPolicy { return fault.DefaultPolicy() }

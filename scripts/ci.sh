@@ -47,6 +47,14 @@ go run ./cmd/pcsi-bench -run E13 > /tmp/e13-a.txt
 go run ./cmd/pcsi-bench -run E13 > /tmp/e13-b.txt
 cmp /tmp/e13-a.txt /tmp/e13-b.txt || { echo 'E13 not byte-identical across runs' >&2; exit 1; }
 
+echo '== dashboard smoke (telemetry plane; HTML + JSON timeline must be byte-identical across re-runs)'
+go run ./cmd/pcsictl dash e13 -seed 1 -o /tmp/dash-a.html 2>/dev/null
+go run ./cmd/pcsictl dash e13 -seed 1 -o /tmp/dash-b.html 2>/dev/null
+cmp /tmp/dash-a.html /tmp/dash-b.html || { echo 'dash HTML not byte-identical across runs' >&2; exit 1; }
+cmp /tmp/dash-a.json /tmp/dash-b.json || { echo 'dash JSON timeline not byte-identical across runs' >&2; exit 1; }
+cp /tmp/dash-a.html pcsi-dash-e13.html
+cp /tmp/dash-a.json pcsi-dash-e13.json
+
 echo '== engine microbenchmark (regression gate vs committed BENCH_engine.json)'
 # Fails (exit 1) if allocs/event regresses >10% or events/sec drops >10%
 # against the committed baseline. Writes the fresh run as an artifact so a
