@@ -49,6 +49,23 @@ var (
 		"pcsi", "internal/experiments", "cmd/pcsictl", "cmd/pcsi-bench",
 	)
 
+	// fncacheDeps are the only packages internal/fncache may import: the
+	// colocated function cache keeps coherence bookkeeping over virtual
+	// time, stamps from the consistency layer, and metrics in the registry,
+	// but never touches objects or the store directly — core converts IDs
+	// at the boundary.
+	fncacheDeps = stringSet(
+		"internal/sim", "internal/cluster", "internal/consistency",
+		"internal/trace", "internal/metrics",
+	)
+
+	// fncacheClients are the only packages that may import internal/fncache:
+	// the compute layer that colocates it (faas), the core that wires
+	// coherence hooks, the facade, and the experiment harness.
+	fncacheClients = stringSet(
+		"internal/faas", "internal/core", "pcsi", "internal/experiments",
+	)
+
 	statePkgs = stringSet(
 		"internal/object", "internal/capability", "internal/store",
 		"internal/namespace", "internal/consistency", "internal/gc",
@@ -167,6 +184,13 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 			pass.Report(imp.Pos(), "internal/obs may not import %s: the telemetry plane depends only on internal/sim, internal/metrics, and internal/trace so attaching it never perturbs a domain layer (DESIGN.md §3)", dep)
 			return
 		}
+	case target == "internal/fncache":
+		// The colocated cache sits between state and compute: it may see
+		// the consistency layer's stamps and the substrates, nothing above.
+		if !fncacheDeps[dep] {
+			pass.Report(imp.Pos(), "internal/fncache may not import %s: the colocated cache depends only on internal/sim, internal/cluster, internal/consistency, internal/trace, and internal/metrics (DESIGN.md §3)", dep)
+			return
+		}
 	case substratePkgs[target]:
 		if !substratePkgs[dep] {
 			pass.Report(imp.Pos(), "substrate package %s may not import %s: substrates depend only on the stdlib and other substrates (DESIGN.md §3)", target, dep)
@@ -178,7 +202,7 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 			return
 		}
 	case computePkgs[target]:
-		if !substratePkgs[dep] && !statePkgs[dep] && !computePkgs[dep] {
+		if !substratePkgs[dep] && !statePkgs[dep] && !computePkgs[dep] && dep != "internal/fncache" {
 			pass.Report(imp.Pos(), "compute-layer package %s may not import %s: only internal/core ties compute to the full system (DESIGN.md §3)", target, dep)
 			return
 		}
@@ -219,6 +243,10 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 	case "internal/obs":
 		if !obsClients[target] {
 			pass.Report(imp.Pos(), "%s may not import internal/obs: telemetry planes are attached by core, faas, and taskgraph and rendered by the harness and binaries; export metrics through the registry instead", target)
+		}
+	case "internal/fncache":
+		if !fncacheClients[target] {
+			pass.Report(imp.Pos(), "%s may not import internal/fncache: colocated caches are wired in by faas and core; configure them through the pcsi facade", target)
 		}
 	}
 }

@@ -1,0 +1,9 @@
+// Package fncacheclient violates layering: internal/fncache is colocated
+// by faas and wired by core, and configured through the pcsi facade —
+// arbitrary packages may not reach the cache directly.
+package fncacheclient
+
+import "fixture/internal/fncache" // want: layering
+
+// Touch keeps the import used.
+func Touch(c *fncache.Cache) { c.Hits.Inc() }

@@ -8,6 +8,7 @@ import (
 	"errors"
 
 	"fixture/internal/fault"
+	"fixture/internal/fncache"
 	"fixture/internal/trace"
 )
 
@@ -43,9 +44,14 @@ func DefaultRetryable(err error) bool {
 	return fault.Retryable(err)
 }
 
-// Invoke is a placeholder compute entry point.
-func Invoke(name string) string {
+// Invoke is a placeholder compute entry point. Colocating the function
+// cache is legal from the compute layer — no diagnostic for the fncache
+// import.
+func Invoke(name string, c *fncache.Cache) string {
 	var s trace.Span
 	s.Touch()
+	if c != nil {
+		c.Hits.Inc()
+	}
 	return name
 }

@@ -1,0 +1,24 @@
+// Package fncache is a miniature stand-in for the colocated function
+// cache. Its legal dependency surface is the substrates plus the
+// consistency layer's stamps — importing the object layer is a layering
+// violation: core converts object IDs to cache keys at the boundary so the
+// cache never sees objects directly.
+package fncache
+
+import (
+	"fixture/internal/metrics"
+	"fixture/internal/object" // want: layering
+	"fixture/internal/sim"
+)
+
+// Cache is a placeholder colocated cache.
+type Cache struct {
+	Env  *sim.Env
+	Hits metrics.Counter
+}
+
+// Lookup keeps the imports used.
+func (c *Cache) Lookup(o *object.Object) bool {
+	c.Hits.Inc()
+	return o.Len() > 0
+}

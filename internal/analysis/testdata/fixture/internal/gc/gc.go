@@ -4,4 +4,4 @@ package gc
 import "fixture/internal/faas" // want: layering
 
 // Collect is a placeholder that leans on compute.
-func Collect() string { return faas.Invoke("gc") }
+func Collect() string { return faas.Invoke("gc", nil) }

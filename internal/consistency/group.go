@@ -51,11 +51,19 @@ type Group struct {
 	replicas []*Replica
 	locks    map[object.ID]*sim.Resource
 	lamport  uint64
+	// merger, when set, resolves concurrent payloads during anti-entropy
+	// by computing a least upper bound instead of last-writer-wins. The
+	// function cache layer installs a lattice merger here; ok=false falls
+	// back to LWW, so non-lattice payloads behave exactly as before.
+	merger func(a, b []byte) ([]byte, bool)
 
 	// Experiment counters.
 	Conflicts    int64 // concurrent updates detected by vector clocks
 	GossipRounds int64
-	StaleReads   int64 // eventual reads that observed a non-latest stamp
+	// Merges counts concurrent updates resolved by the installed merger
+	// (lattice joins) rather than LWW.
+	Merges     int64
+	StaleReads int64 // eventual reads that observed a non-latest stamp
 	// LinStaleReads counts linearizable reads that observed a non-latest
 	// stamp. The protocol (primary serialisation + majority ack) makes this
 	// impossible, so the chaos harness asserts it stays zero.
@@ -393,6 +401,66 @@ func (g *Group) View(p *sim.Proc, client simnet.NodeID, id object.ID, lvl Level,
 	return err
 }
 
+// SetMerger installs a payload merger consulted when anti-entropy meets
+// concurrent updates: ok=true replaces last-writer-wins with the merged
+// payload installed at both replicas. The merger must be deterministic,
+// commutative, and idempotent (lattice joins are).
+func (g *Group) SetMerger(m func(a, b []byte) ([]byte, bool)) { g.merger = m }
+
+// NewestStamp returns the newest stamp any replica holds for id — the
+// reference point for staleness accounting (cache-entry audits compare
+// their fill stamp against it).
+func (g *Group) NewestStamp(id object.ID) (Stamp, bool) {
+	var newest Stamp
+	found := false
+	for _, r := range g.replicas {
+		if m, ok := r.meta[id]; ok {
+			if !found || newest.Less(m.stamp) {
+				newest = m.stamp
+			}
+			found = true
+		}
+	}
+	return newest, found
+}
+
+// QuiescentApply mutates id directly at replica 0, outside any simulation
+// process — the proc-free flush the chaos harness needs after the event
+// queue has drained (cache replicas with unflushed lattice deltas must
+// reach the store before convergence is audited). SyncAll propagates the
+// result.
+func (g *Group) QuiescentApply(id object.ID, fn func(*object.Object) error) error {
+	src := g.replicas[0]
+	o, err := src.St.Get(id)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	before := o.Size()
+	if err := fn(o); err != nil {
+		return err
+	}
+	_ = src.St.UpdateAccounting(o.Size() - before)
+	m, ok := src.meta[id]
+	if !ok {
+		m = &objMeta{vc: NewVClock(len(g.replicas))}
+		src.meta[id] = m
+	}
+	m.stamp = g.nextStamp(src.Index)
+	m.vc.Tick(src.Index)
+	return nil
+}
+
+// PrimaryStamp returns the stamp the primary replica holds for id — the
+// stamp of the data a linearizable read just returned (cache fills record
+// it so later audits can compare entries against NewestStamp).
+func (g *Group) PrimaryStamp(id object.ID) (Stamp, bool) {
+	m, ok := g.primary(id).meta[id]
+	if !ok {
+		return Stamp{}, false
+	}
+	return m.stamp, true
+}
+
 // StampAt returns the version stamp a replica holds for id (tests/metrics).
 func (g *Group) StampAt(replica int, id object.ID) (Stamp, bool) {
 	m, ok := g.replicas[replica].meta[id]
@@ -571,6 +639,9 @@ func (g *Group) pullInto(dst, src *Replica) {
 			switch dm.vc.Compare(sm.vc) {
 			case Concurrent:
 				g.Conflicts++
+				if g.mergeConcurrent(dst, src, id, so, dm, sm) {
+					continue
+				}
 			case After, Equal:
 				// dst is as new or newer; nothing to pull (but merge clocks).
 				dm.vc.Merge(sm.vc)
@@ -583,4 +654,37 @@ func (g *Group) pullInto(dst, src *Replica) {
 		}
 		g.applyState(dst, id, so.Kind(), so.Read(), so.Version(), so.Mutability(), sm.stamp, sm.vc)
 	}
+}
+
+// mergeConcurrent resolves a true conflict through the installed merger:
+// the least upper bound of both payloads is installed at both replicas
+// under the greater stamp and the merged clock, so the exchange converges
+// without either side's update being lost. Returns false (caller falls
+// back to LWW) when no merger is set or the payloads are not mergeable.
+func (g *Group) mergeConcurrent(dst, src *Replica, id object.ID, so *object.Object, dm, sm *objMeta) bool {
+	if g.merger == nil {
+		return false
+	}
+	do, err := dst.St.Get(id)
+	if err != nil {
+		return false
+	}
+	merged, ok := g.merger(do.Read(), so.Read())
+	if !ok {
+		return false
+	}
+	stamp := dm.stamp
+	if stamp.Less(sm.stamp) {
+		stamp = sm.stamp
+	}
+	vc := dm.vc.Clone()
+	vc.Merge(sm.vc)
+	ver := do.Version()
+	if so.Version() > ver {
+		ver = so.Version()
+	}
+	g.applyState(dst, id, so.Kind(), merged, ver+1, do.Mutability(), stamp, vc)
+	g.applyState(src, id, so.Kind(), merged, ver+1, do.Mutability(), stamp, vc)
+	g.Merges++
+	return true
 }

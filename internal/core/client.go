@@ -7,6 +7,7 @@ import (
 	"repro/internal/capability"
 	"repro/internal/consistency"
 	"repro/internal/cost"
+	"repro/internal/fncache"
 	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/qos"
@@ -174,6 +175,23 @@ func (cl *Client) Create(p *sim.Proc, kind object.Kind, opts ...CreateOpt) (Ref,
 	return Ref{cap: cl.c.caps.Mint(id, capability.All), lvl: params.lvl}, nil
 }
 
+// beginWrite opens a coherence write on r's object when the colocated
+// cache may lease it: the epoch bump drops every holder BEFORE the store
+// mutates (so no entry outlives the data it copied), and the invalidation
+// fan-out is charged one message per holder. The returned closure ends the
+// write and must run even when the store operation fails.
+func (cl *Client) beginWrite(p *sim.Proc, r Ref) func() {
+	fc := cl.c.fncache
+	if fc == nil || r.lvl != consistency.Linearizable {
+		return func() {}
+	}
+	key := fncache.Key(r.cap.Object())
+	for _, h := range fc.BeginWrite(key) {
+		cl.c.net.Send(p, cl.node, simnet.NodeID(h), 64) // invalidate message
+	}
+	return func() { fc.EndWrite(key) }
+}
+
 // Put replaces an object's payload.
 func (cl *Client) Put(p *sim.Proc, r Ref, data []byte) error {
 	if err := cl.check(r, capability.Write); err != nil {
@@ -197,6 +215,8 @@ func (cl *Client) Put(p *sim.Proc, r Ref, data []byte) error {
 		})
 	}
 	start := p.Now()
+	endWrite := cl.beginWrite(p, r)
+	defer endWrite()
 	cl.c.BytesMoved += int64(len(data))
 	err := cl.c.do(p, "core.put", func() error {
 		if ferr := cl.c.inj.OpFault(p, "core.put"); ferr != nil {
@@ -248,8 +268,33 @@ func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
 		cl.observe(p, start)
 		return append([]byte(nil), e.data...), nil
 	}
+	// Lease path: a linearizable read served from the colocated cache skips
+	// both the network round trip and the primary's per-object lock — the
+	// Cloudburst win. Validity is audited on every hit: an entry whose fill
+	// stamp trails the store's newest is a coherence violation, not a
+	// staleness allowance.
+	fc := cl.c.fncache
+	leased := fc != nil && r.lvl == consistency.Linearizable
+	key := fncache.Key(r.cap.Object())
+	if leased {
+		if data, stamp, ok := fc.LeaseGet(int(cl.node), key, p.Now()); ok {
+			if newest, have := cl.c.grp.NewestStamp(r.cap.Object()); have && stamp.Less(newest) {
+				fc.StaleLeaseServes.Inc()
+			}
+			sp.Annotate(trace.Str("fncache", "hit"))
+			p.Sleep(media.DRAM.ReadCost(int64(len(data))))
+			cl.c.Meter.Charge("read", cost.PCSIBook.ReadCost(int64(len(data)), false))
+			cl.observe(p, start)
+			return append([]byte(nil), data...), nil
+		}
+	}
+	var epochAtRead uint64
+	if leased {
+		epochAtRead = fc.Epoch(key)
+	}
 	var data []byte
 	var frozen bool
+	var kind object.Kind
 	err := cl.c.do(p, "core.get", func() error {
 		if ferr := cl.c.inj.OpFault(p, "core.get"); ferr != nil {
 			return ferr
@@ -257,6 +302,7 @@ func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
 		return cl.c.grp.View(p, cl.node, r.cap.Object(), r.lvl, func(o *object.Object) error {
 			data = o.Read()
 			frozen = o.Mutability() == object.Immutable
+			kind = o.Kind()
 			return nil
 		})
 	})
@@ -265,6 +311,15 @@ func (cl *Client) Get(p *sim.Proc, r Ref) ([]byte, error) {
 		// is servable immediately when the object is already frozen.
 		cl.c.cacheFor(cl.node)[r.cap.Object()] = &cacheEntry{data: append([]byte(nil), data...), stable: frozen}
 		cl.c.Meter.Charge("read", cost.PCSIBook.ReadCost(int64(len(data)), r.lvl == consistency.Linearizable))
+		if leased && kind == object.Regular {
+			// Fill under the epoch recorded before the read; a write that
+			// slipped in between bumped it and the fill is refused. Only
+			// plain payload objects are cached: FIFOs, sockets, and
+			// directories mutate through verbs the lease directory does not
+			// hook.
+			stamp, _ := cl.c.grp.PrimaryStamp(r.cap.Object())
+			fc.LeaseFill(int(cl.node), key, data, stamp, epochAtRead, p.Now())
+		}
 	}
 	cl.c.BytesMoved += int64(len(data))
 	cl.observe(p, start)
@@ -318,6 +373,8 @@ func (cl *Client) Append(p *sim.Proc, r Ref, data []byte) error {
 		})
 	}
 	start := p.Now()
+	endWrite := cl.beginWrite(p, r)
+	defer endWrite()
 	cl.c.BytesMoved += int64(len(data))
 	err := cl.c.do(p, "core.append", func() error {
 		if ferr := cl.c.inj.OpFault(p, "core.append"); ferr != nil {
@@ -351,6 +408,8 @@ func (cl *Client) WriteAt(p *sim.Proc, r Ref, data []byte, off int64) error {
 		})
 	}
 	start := p.Now()
+	endWrite := cl.beginWrite(p, r)
+	defer endWrite()
 	cl.c.BytesMoved += int64(len(data))
 	err := cl.c.do(p, "core.write_at", func() error {
 		if ferr := cl.c.inj.OpFault(p, "core.write_at"); ferr != nil {
@@ -424,6 +483,8 @@ func (cl *Client) Freeze(p *sim.Proc, r Ref, m object.Mutability) error {
 			return o.SetMutability(m)
 		})
 	}
+	endWrite := cl.beginWrite(p, r)
+	defer endWrite()
 	err := cl.c.do(p, "core.freeze", func() error {
 		if ferr := cl.c.inj.OpFault(p, "core.freeze"); ferr != nil {
 			return ferr

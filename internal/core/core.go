@@ -31,6 +31,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/faas"
 	"repro/internal/fault"
+	"repro/internal/fncache"
 	"repro/internal/gc"
 	"repro/internal/media"
 	"repro/internal/metrics"
@@ -96,6 +97,12 @@ type Options struct {
 	// threads it through data ops, function invocations, and task graphs.
 	// Nil keeps the historical unguarded paths byte-identical.
 	QoS *qos.Config
+	// FnCache, when set, colocates a function cache with the executors
+	// (internal/fncache): linearizable objects cache under virtual-time
+	// leases with invalidate-on-write, eventual objects as lattice CRDTs
+	// merged by anti-entropy. Nil keeps every hook inert and the run
+	// byte-identical to a cache-free build.
+	FnCache *fncache.Config
 }
 
 // DefaultOptions returns a representative mid-size deployment.
@@ -126,6 +133,7 @@ type Cloud struct {
 	retry    *fault.Policy   // nil = no retries
 	qos      *qos.Controller // nil = no admission control
 	obsPlane *obs.Plane      // nil outside obs sessions
+	fncache  *fncache.Cache  // nil = no colocated caches
 
 	fnRefs   map[string]Ref // function name -> code object ref
 	fnByCode map[object.ID]string
@@ -216,6 +224,15 @@ func New(opts Options) *Cloud {
 	// byte-identical to an unobserved one.
 	c.obsPlane = obs.ActiveSession().Attach(env, c.reg, "pcsi/"+opts.Policy.String())
 
+	// Colocated function caches (optional): lease coherence for
+	// linearizable objects, lattice merges for eventual ones. The merger
+	// upgrade to anti-entropy only installs alongside the cache, so
+	// cache-free deployments keep last-writer-wins byte-identically.
+	if opts.FnCache != nil {
+		c.fncache = fncache.New(env, *opts.FnCache, c.reg)
+		grp.SetMerger(fncache.MergePayload)
+	}
+
 	var plc faas.Placer
 	switch opts.Policy {
 	case PlaceNaive:
@@ -242,6 +259,7 @@ func New(opts Options) *Cloud {
 		EvictionProb: opts.EvictionProb,
 		Metrics:      c.reg,
 		QoS:          c.qos,
+		FnCache:      c.fncache,
 	})
 
 	// Fault-injection wiring. Only a non-idle active session yields an
@@ -370,6 +388,10 @@ func (c *Cloud) QoS() *qos.Controller { return c.qos }
 // active at construction.
 func (c *Cloud) Obs() *obs.Plane { return c.obsPlane }
 
+// FnCache returns the colocated function cache, or nil when the deployment
+// runs without one.
+func (c *Cloud) FnCache() *fncache.Cache { return c.fncache }
+
 // Env returns the simulation environment.
 func (c *Cloud) Env() *sim.Env { return c.env }
 
@@ -467,6 +489,13 @@ func (c *Cloud) Collect() int {
 			delete(cache, id)
 		}
 	}
+	if c.fncache != nil {
+		keys := make([]fncache.Key, len(c.col.LastSweptIDs))
+		for i, id := range c.col.LastSweptIDs {
+			keys[i] = fncache.Key(id)
+		}
+		c.fncache.Invalidate(keys...)
+	}
 	return n + c.sweepEphemeral()
 }
 
@@ -500,6 +529,12 @@ func (c *Cloud) chaosInvariants() []string {
 	var v []string
 	if n := c.grp.LinStaleReads; n > 0 {
 		v = append(v, fmt.Sprintf("%d stale linearizable reads", n))
+	}
+	if c.fncache != nil {
+		if n := c.fncache.StaleLeaseServes.Value(); n > 0 {
+			v = append(v, fmt.Sprintf("%d linearizable reads served from stale lease entries", n))
+		}
+		v = append(v, c.LatticeAudit()...)
 	}
 	c.grp.SyncAll()
 	if ids := c.grp.Divergent(); len(ids) > 0 {

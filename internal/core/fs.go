@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/capability"
 	"repro/internal/consistency"
+	"repro/internal/fncache"
 	"repro/internal/namespace"
 	"repro/internal/object"
 	"repro/internal/sim"
@@ -93,6 +94,16 @@ func (n *NS) mirrorPath(p *sim.Proc, path string) error {
 				ids = append(ids, id)
 			}
 		}
+	}
+	if fc := n.c.fncache; fc != nil {
+		// Mirror bypasses the lease write path, and a copy-up target can be
+		// a Regular object some node leased: invalidate before the state
+		// replicates so no cached entry outlives the mirrored content.
+		keys := make([]fncache.Key, len(ids))
+		for i, id := range ids {
+			keys[i] = fncache.Key(id)
+		}
+		fc.Invalidate(keys...)
 	}
 	return n.c.grp.Mirror(p, ids...)
 }

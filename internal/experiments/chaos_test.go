@@ -60,6 +60,28 @@ func TestChaosSweepByteIdenticalAndInvariantsHold(t *testing.T) {
 	}
 }
 
+// Cache coherence under faults: E14's colocated caches ride through node
+// crashes (FailNode drops the node's cached state) and partitions, 10 seeds
+// at a hefty fault rate. The cache invariants — zero stale lease serves and
+// lattice convergence after heal + quiescence — are checked per seed by the
+// chaos harness, and the sweep must render byte-identically run to run.
+func TestChaosE14CacheInvariants(t *testing.T) {
+	cfg := ChaosConfig{
+		Exp:       "E14",
+		Seeds:     10,
+		FaultRate: 0.05,
+		Schedule:  chaosSchedule(),
+	}
+	first := renderChaos(t, cfg)
+	second := renderChaos(t, cfg)
+	if first != second {
+		t.Fatalf("E14 chaos sweep not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if !strings.Contains(first, "node.crash") {
+		t.Errorf("scheduled crash left no counter trace:\n%s", first)
+	}
+}
+
 // Different base seeds explore different fault interleavings: at a hefty
 // fault rate the injected-fault counters must differ across seeds while
 // invariants still hold on every one.

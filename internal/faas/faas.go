@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/fault"
+	"repro/internal/fncache"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/qos"
@@ -180,6 +181,10 @@ type Config struct {
 	// (qos.ClassInvoke). Nil = no admission control, byte-identical to the
 	// pre-QoS runtime.
 	QoS *qos.Controller
+	// FnCache optionally colocates a function cache with the executors:
+	// node failures drop the node's cached state along with its instances
+	// (the cache lives in the executor's DRAM). Nil = no cache.
+	FnCache *fncache.Cache
 }
 
 // Runtime hosts functions on a cluster.
@@ -565,6 +570,11 @@ func (rt *Runtime) liveInstances() int {
 // killed.
 func (rt *Runtime) FailNode(node simnet.NodeID) int {
 	rt.cl.SetDown(node, true)
+	if rt.cfg.FnCache != nil {
+		// The colocated cache shares the machine's fate: lease entries and
+		// lattice replicas in its DRAM are gone.
+		rt.cfg.FnCache.DropNode(int(node))
+	}
 	killed := 0
 	for _, fn := range rt.poolFns() {
 		for _, in := range append([]*Instance(nil), rt.pool[fn]...) {

@@ -1,0 +1,282 @@
+package fncache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consistency"
+	"repro/internal/sim"
+)
+
+// qc returns a seeded quick config so every property run is reproducible.
+func qc(seed int64) *quick.Config {
+	return &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// lmapFrom builds a mixed-type LMap from quick-generatable specs. Key
+// prefixes keep the two value types on disjoint keys, as a real client
+// would (merging different lattice types under one key is a schema error).
+func lmapFrom(gcs map[string]GCounter, regs map[string]LWWReg) LMap {
+	m := make(LMap, len(gcs)+len(regs))
+	for k, v := range gcs {
+		m["g:"+k] = v
+	}
+	for k, v := range regs {
+		m["r:"+k] = v
+	}
+	return m
+}
+
+func checkLaws(t *testing.T, name string, f interface{}, seed int64) {
+	t.Helper()
+	if err := quick.Check(f, qc(seed)); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+// mergeEq reports whether two lattice values encode identically.
+func mergeEq(a, b Lattice) bool { return bytes.Equal(a.Encode(), b.Encode()) }
+
+func TestLatticeLawsLWW(t *testing.T) {
+	checkLaws(t, "commutative", func(a, b LWWReg) bool {
+		return mergeEq(a.Merge(b), b.Merge(a))
+	}, 1)
+	checkLaws(t, "associative", func(a, b, c LWWReg) bool {
+		return mergeEq(a.Merge(b).Merge(c), a.Merge(b.Merge(c)))
+	}, 2)
+	checkLaws(t, "idempotent", func(a LWWReg) bool {
+		return mergeEq(a.Merge(a), a)
+	}, 3)
+	checkLaws(t, "monotone", func(a, b LWWReg) bool {
+		j := a.Merge(b)
+		return a.Leq(j) && b.Leq(j)
+	}, 4)
+}
+
+func TestLatticeLawsGCounter(t *testing.T) {
+	checkLaws(t, "commutative", func(a, b GCounter) bool {
+		return mergeEq(a.Merge(b), b.Merge(a))
+	}, 5)
+	checkLaws(t, "associative", func(a, b, c GCounter) bool {
+		return mergeEq(a.Merge(b).Merge(c), a.Merge(b.Merge(c)))
+	}, 6)
+	checkLaws(t, "idempotent", func(a GCounter) bool {
+		return mergeEq(a.Merge(a), a)
+	}, 7)
+	checkLaws(t, "monotone", func(a, b GCounter) bool {
+		j := a.Merge(b)
+		return a.Leq(j) && b.Leq(j)
+	}, 8)
+	checkLaws(t, "count-monotone", func(a GCounter, actor int32, n uint64) bool {
+		b := a.Add(actor, n%1000)
+		return a.Leq(b) && b.Count() >= a.Count()
+	}, 9)
+}
+
+func TestLatticeLawsORSet(t *testing.T) {
+	checkLaws(t, "commutative", func(a, b ORSet) bool {
+		return mergeEq(a.Merge(b), b.Merge(a))
+	}, 10)
+	checkLaws(t, "associative", func(a, b, c ORSet) bool {
+		return mergeEq(a.Merge(b).Merge(c), a.Merge(b.Merge(c)))
+	}, 11)
+	checkLaws(t, "idempotent", func(a ORSet) bool {
+		return mergeEq(a.Merge(a), a)
+	}, 12)
+	checkLaws(t, "monotone", func(a, b ORSet) bool {
+		j := a.Merge(b)
+		return a.Leq(j) && b.Leq(j)
+	}, 13)
+	// Observed-remove semantics: an add concurrent with a remove survives
+	// the merge, because the remove never observed its tag.
+	checkLaws(t, "concurrent-add-wins", func(elem string, t1, t2 uint64) bool {
+		if t1 == t2 {
+			t2++
+		}
+		base := NewORSet().Add(elem, t1)
+		removed := base.Remove(elem)
+		readded := base.Add(elem, t2)
+		m := removed.Merge(readded).(ORSet)
+		return m.Contains(elem)
+	}, 14)
+}
+
+func TestLatticeLawsLMap(t *testing.T) {
+	checkLaws(t, "commutative", func(ga, gb map[string]GCounter, ra, rb map[string]LWWReg) bool {
+		a, b := lmapFrom(ga, ra), lmapFrom(gb, rb)
+		return mergeEq(a.Merge(b), b.Merge(a))
+	}, 16)
+	checkLaws(t, "associative", func(ga, gb, gc map[string]GCounter, ra, rb, rc map[string]LWWReg) bool {
+		a, b, c := lmapFrom(ga, ra), lmapFrom(gb, rb), lmapFrom(gc, rc)
+		return mergeEq(a.Merge(b).Merge(c), a.Merge(b.Merge(c)))
+	}, 17)
+	checkLaws(t, "idempotent", func(ga map[string]GCounter, ra map[string]LWWReg) bool {
+		a := lmapFrom(ga, ra)
+		return mergeEq(a.Merge(a), a)
+	}, 18)
+	checkLaws(t, "monotone", func(ga, gb map[string]GCounter, ra, rb map[string]LWWReg) bool {
+		a, b := lmapFrom(ga, ra), lmapFrom(gb, rb)
+		j := a.Merge(b)
+		return a.Leq(j) && b.Leq(j)
+	}, 19)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	checkLaws(t, "lww", func(a LWWReg) bool {
+		v, err := Decode(a.Encode())
+		return err == nil && mergeEq(v, a)
+	}, 20)
+	checkLaws(t, "gcounter", func(a GCounter) bool {
+		v, err := Decode(a.Encode())
+		return err == nil && mergeEq(v, a)
+	}, 21)
+	checkLaws(t, "orset", func(a ORSet) bool {
+		v, err := Decode(a.Encode())
+		return err == nil && mergeEq(v, a)
+	}, 22)
+	checkLaws(t, "lmap", func(ga map[string]GCounter, ra map[string]LWWReg) bool {
+		a := lmapFrom(ga, ra)
+		v, err := Decode(a.Encode())
+		return err == nil && mergeEq(v, a)
+	}, 23)
+}
+
+func TestMergePayload(t *testing.T) {
+	checkLaws(t, "same-type", func(a, b GCounter) bool {
+		m, ok := MergePayload(a.Encode(), b.Encode())
+		if !ok {
+			return false
+		}
+		le, err := PayloadLeq(a.Encode(), m)
+		if err != nil || !le {
+			return false
+		}
+		return bytes.Equal(m, a.Merge(b).Encode())
+	}, 24)
+	checkLaws(t, "cross-type-refused", func(a GCounter, b LWWReg) bool {
+		_, ok := MergePayload(a.Encode(), b.Encode())
+		return !ok
+	}, 25)
+	if Mergeable([]byte("plain bytes")) {
+		t.Error("Mergeable accepted a non-lattice payload")
+	}
+	if _, ok := MergePayload([]byte{0x01, 0x02}, []byte{0x01, 0x03}); ok {
+		t.Error("MergePayload merged non-lattice payloads")
+	}
+}
+
+// TestLeaseEpochMonotonicity drives random op sequences against the lease
+// directory next to a trivial model store (a counter bumped by each write)
+// and checks the coherence contract: epochs never go backwards, and a hit
+// always returns the model's current value — i.e. no entry survives a
+// write that invalidated it, no fill lands during a write, and a fill
+// against a moved epoch is refused.
+func TestLeaseEpochMonotonicity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(nil, Config{}, nil)
+		store := map[Key]byte{}
+		lastEpoch := map[Key]uint64{}
+		now := sim.Time(0)
+		for _, op := range ops {
+			key := Key(op>>2) % 3
+			node := int(op>>4) % 4
+			switch op % 4 {
+			case 0, 1: // read at node
+				if data, _, ok := c.LeaseGet(node, key, now); ok {
+					if len(data) != 1 || data[0] != store[key] {
+						return false // stale hit: cache outlived a write
+					}
+				} else {
+					e := c.Epoch(key)
+					c.LeaseFill(node, key, []byte{store[key]}, stampOf(uint64(store[key])), e, now)
+				}
+			case 2: // write
+				holders := c.BeginWrite(key)
+				for i := 1; i < len(holders); i++ {
+					if holders[i-1] >= holders[i] {
+						return false // fan-out set must be sorted, unique
+					}
+				}
+				store[key]++
+				c.EndWrite(key)
+			case 3: // racy fill: recorded epoch, then a write slips in
+				e := c.Epoch(key)
+				c.BeginWrite(key)
+				store[key]++
+				c.EndWrite(key)
+				c.LeaseFill(node, key, []byte{store[key] - 1}, stampOf(uint64(store[key]-1)), e, now)
+			}
+			if ep := c.Epoch(key); ep < lastEpoch[key] {
+				return false // epoch regressed
+			} else {
+				lastEpoch[key] = ep
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qc(26)); err != nil {
+		t.Error(err)
+	}
+}
+
+func stampOf(n uint64) consistency.Stamp { return consistency.Stamp{Counter: n} }
+
+func TestLeaseTTLExpiry(t *testing.T) {
+	c := New(nil, Config{LeaseTTL: 10}, nil)
+	c.LeaseFill(1, 7, []byte{42}, stampOf(1), c.Epoch(7), sim.Time(0))
+	if _, _, ok := c.LeaseGet(1, 7, sim.Time(5)); !ok {
+		t.Fatal("entry should be live before TTL")
+	}
+	if _, _, ok := c.LeaseGet(1, 7, sim.Time(11)); ok {
+		t.Fatal("entry served past its lease TTL")
+	}
+	if _, _, ok := c.LeaseGet(1, 7, sim.Time(5)); ok {
+		t.Fatal("expired entry should have been dropped")
+	}
+}
+
+func TestLeaseEviction(t *testing.T) {
+	c := New(nil, Config{MaxEntriesPerNode: 2}, nil)
+	now := sim.Time(0)
+	for _, k := range []Key{5, 3, 9} {
+		c.LeaseFill(0, k, []byte{byte(k)}, stampOf(uint64(k)), c.Epoch(k), now)
+	}
+	if _, _, ok := c.LeaseGet(0, 3, now); ok {
+		t.Fatal("smallest key should have been evicted")
+	}
+	for _, k := range []Key{5, 9} {
+		if _, _, ok := c.LeaseGet(0, k, now); !ok {
+			t.Fatalf("key %d should have survived eviction", k)
+		}
+	}
+}
+
+func TestDropNodeAndInvalidate(t *testing.T) {
+	c := New(nil, Config{}, nil)
+	now := sim.Time(0)
+	c.LeaseFill(0, 1, []byte{1}, stampOf(1), c.Epoch(1), now)
+	c.LeaseFill(1, 1, []byte{1}, stampOf(1), c.Epoch(1), now)
+	c.LatticeMergeLocal(0, 2, GCounter{}.Add(0, 1))
+	c.DropNode(0)
+	if _, _, ok := c.LeaseGet(0, 1, now); ok {
+		t.Fatal("dropped node still serves lease entries")
+	}
+	if _, ok := c.LatticeGet(0, 2); ok {
+		t.Fatal("dropped node still holds lattice replicas")
+	}
+	if _, _, ok := c.LeaseGet(1, 1, now); !ok {
+		t.Fatal("surviving node lost its entry")
+	}
+	before := c.Epoch(1)
+	if n := c.Invalidate(1); n != 1 {
+		t.Fatalf("Invalidate dropped %d entries, want 1", n)
+	}
+	if c.Epoch(1) <= before {
+		t.Fatal("Invalidate must advance the epoch")
+	}
+	if _, _, ok := c.LeaseGet(1, 1, now); ok {
+		t.Fatal("invalidated entry still served")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faas"
 	"repro/internal/fault"
+	"repro/internal/fncache"
 	"repro/internal/object"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -136,6 +137,29 @@ type (
 	// ObsTimeline is a session's exportable dump; WriteHTML renders the
 	// static dashboard and WriteJSON the machine-readable timeline.
 	ObsTimeline = obs.Timeline
+	// FnCacheConfig enables per-node caches colocated with function
+	// executors. Set Options.FnCache to enable them; nil keeps every read
+	// and write on the store path, byte-identical to builds without the
+	// cache. Linearizable reads are cached under virtual-time leases with
+	// invalidate-on-write; eventual lattice objects get local CRDT
+	// replicas merged through anti-entropy.
+	FnCacheConfig = fncache.Config
+	// FnCacheStats snapshots a deployment's cache counters
+	// (Cloud.FnCache().Snapshot()).
+	FnCacheStats = fncache.Stats
+	// Lattice is a join-semilattice value for eventual-consistency
+	// objects ([Client.LatticeCreate], [Client.LatticeUpdate],
+	// [Client.LatticeRead], [Client.LatticeSync]).
+	Lattice = fncache.Lattice
+	// LWWReg is a last-writer-wins register lattice.
+	LWWReg = fncache.LWWReg
+	// GCounter is a grow-only counter lattice.
+	GCounter = fncache.GCounter
+	// ORSet is an observed-remove set lattice (add wins over concurrent
+	// remove).
+	ORSet = fncache.ORSet
+	// LMap is a map-of-lattices; entries join pointwise.
+	LMap = fncache.LMap
 )
 
 // ErrOverload is returned by admission-controlled operations when load is

@@ -47,6 +47,13 @@ go run ./cmd/pcsi-bench -run E13 > /tmp/e13-a.txt
 go run ./cmd/pcsi-bench -run E13 > /tmp/e13-b.txt
 cmp /tmp/e13-a.txt /tmp/e13-b.txt || { echo 'E13 not byte-identical across runs' >&2; exit 1; }
 
+echo '== E14 cache smoke (colocated caches beat cache-off under Zipf fan-out; exits 1 on FAIL)'
+go run ./cmd/pcsi-bench -run E14 > /tmp/e14-a.txt
+go run ./cmd/pcsi-bench -run E14 > /tmp/e14-b.txt
+cmp /tmp/e14-a.txt /tmp/e14-b.txt || { echo 'E14 not byte-identical across runs' >&2; exit 1; }
+grep -q '\[PASS\] hot-keys-hit' /tmp/e14-a.txt || { echo 'E14 hit-rate shape check missing' >&2; exit 1; }
+grep -q '\[PASS\] lease-zero-stale' /tmp/e14-a.txt || { echo 'E14 lease coherence check missing' >&2; exit 1; }
+
 echo '== dashboard smoke (telemetry plane; HTML + JSON timeline must be byte-identical across re-runs)'
 go run ./cmd/pcsictl dash e13 -seed 1 -o /tmp/dash-a.html 2>/dev/null
 go run ./cmd/pcsictl dash e13 -seed 1 -o /tmp/dash-b.html 2>/dev/null
