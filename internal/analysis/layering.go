@@ -66,6 +66,24 @@ var (
 		"internal/faas", "internal/core", "pcsi", "internal/experiments",
 	)
 
+	// faasfsDeps are the only packages internal/faasfs may import: the
+	// transactional file system is a client of the capability-checked core
+	// (its only route to objects), classifies conflicts through fault,
+	// pins snapshots with consistency stamps, and instruments commits over
+	// virtual time — never the store, the baselines, or compute.
+	faasfsDeps = stringSet(
+		"internal/core", "internal/consistency", "internal/fault",
+		"internal/trace", "internal/sim",
+	)
+
+	// faasfsClients are the only packages that may import internal/faasfs:
+	// the compute layers that open per-invocation sessions (faas,
+	// taskgraph), the facade that re-exports the session API, and the
+	// experiment harness.
+	faasfsClients = stringSet(
+		"internal/faas", "internal/taskgraph", "pcsi", "internal/experiments",
+	)
+
 	statePkgs = stringSet(
 		"internal/object", "internal/capability", "internal/store",
 		"internal/namespace", "internal/consistency", "internal/gc",
@@ -83,7 +101,7 @@ var (
 	// coreClients are the only packages that may import internal/core: the
 	// public facade, the wire daemon, and the experiment harness. Binaries
 	// and examples go through the pcsi facade.
-	coreClients = stringSet("pcsi", "internal/pcsinet", "internal/experiments")
+	coreClients = stringSet("pcsi", "internal/pcsinet", "internal/experiments", "internal/faasfs")
 
 	// analysisClients may import internal/analysis.
 	analysisClients = stringSet("cmd/pcsi-vet")
@@ -191,6 +209,14 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 			pass.Report(imp.Pos(), "internal/fncache may not import %s: the colocated cache depends only on internal/sim, internal/cluster, internal/consistency, internal/trace, and internal/metrics (DESIGN.md §3)", dep)
 			return
 		}
+	case target == "internal/faasfs":
+		// The transactional file system reaches objects only through the
+		// capability-checked core client; everything else it may see is the
+		// cross-cutting substrate.
+		if !faasfsDeps[dep] {
+			pass.Report(imp.Pos(), "internal/faasfs may not import %s: the transactional file system depends only on internal/core, internal/consistency, internal/fault, internal/trace, and internal/sim (DESIGN.md §3)", dep)
+			return
+		}
 	case substratePkgs[target]:
 		if !substratePkgs[dep] {
 			pass.Report(imp.Pos(), "substrate package %s may not import %s: substrates depend only on the stdlib and other substrates (DESIGN.md §3)", target, dep)
@@ -247,6 +273,10 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, target, path string) {
 	case "internal/fncache":
 		if !fncacheClients[target] {
 			pass.Report(imp.Pos(), "%s may not import internal/fncache: colocated caches are wired in by faas and core; configure them through the pcsi facade", target)
+		}
+	case "internal/faasfs":
+		if !faasfsClients[target] {
+			pass.Report(imp.Pos(), "%s may not import internal/faasfs: sessions are opened by faas and taskgraph invocations; configure mounts through the pcsi facade", target)
 		}
 	}
 }

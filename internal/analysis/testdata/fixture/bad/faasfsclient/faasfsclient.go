@@ -1,0 +1,10 @@
+// Package faasfsclient violates layering: faasfs sessions are opened by
+// faas and taskgraph invocations and mounts are configured through the
+// pcsi facade — arbitrary packages may not reach the file system
+// directly.
+package faasfsclient
+
+import "fixture/internal/faasfs" // want: layering
+
+// Touch keeps the import used.
+func Touch(m *faasfs.Mount) *faasfs.Mount { return m }

@@ -1,0 +1,22 @@
+// Package faasfs is a miniature stand-in for the transactional file
+// system. Its legal dependency surface is the capability-checked core
+// client plus the cross-cutting substrates — importing the store is a
+// layering violation: every object a session touches goes through core's
+// rights checks, never through raw store access.
+package faasfs
+
+import (
+	"fixture/internal/core"
+	"fixture/internal/store" // want: layering
+)
+
+// Mount is a placeholder transactional mount.
+type Mount struct {
+	cl *core.Client
+}
+
+// Attach keeps the imports used.
+func Attach(cl *core.Client, st *store.Store) *Mount {
+	_ = st.Get(0)
+	return &Mount{cl: cl}
+}

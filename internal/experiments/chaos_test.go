@@ -82,6 +82,28 @@ func TestChaosE14CacheInvariants(t *testing.T) {
 	}
 }
 
+// Transactional file system under faults: E15's faasfs arm must never
+// expose a stale or half-committed transaction — after HealAll the store
+// must match the committed model exactly (the redo log rolls forward in
+// the quiescent audit), across a 10-seed sweep at fault rate 0.05. The
+// sweep must also render byte-identically run to run.
+func TestChaosE15FaaSFSInvariants(t *testing.T) {
+	cfg := ChaosConfig{
+		Exp:       "E15",
+		Seeds:     10,
+		FaultRate: 0.05,
+		Schedule:  chaosSchedule(),
+	}
+	first := renderChaos(t, cfg)
+	second := renderChaos(t, cfg)
+	if first != second {
+		t.Fatalf("E15 chaos sweep not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if !strings.Contains(first, "node.crash") {
+		t.Errorf("scheduled crash left no counter trace:\n%s", first)
+	}
+}
+
 // Different base seeds explore different fault interleavings: at a hefty
 // fault rate the injected-fault counters must differ across seeds while
 // invariants still hold on every one.

@@ -1,0 +1,796 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/faasfs"
+	"repro/internal/fault"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/nfsbase"
+	"repro/internal/object"
+	"repro/internal/platform"
+	"repro/internal/restbase"
+	"repro/internal/sim"
+)
+
+// E15 reproduces the FaaSFS argument (PAPERS.md): serverless functions
+// sharing a transactional POSIX file system beat both a stateful NFS
+// mount and a stateless REST store on chatty application traces, while
+// optimistic commit keeps concurrent writers serializable — the two
+// baselines silently lose updates under the same contention.
+//
+// Three POSIX app traces run as task graphs on identical deployments:
+//
+//   - build: parallel compiles read a source tree chunk-by-chunk and
+//     rename outputs into a shared directory, then a link step joins them;
+//   - pagestore: SQLite-like page store — concurrent writers read the
+//     header and two pages, modify them, write back, bump the commit
+//     counter;
+//   - mailspool: concurrent delivery agents append to one mailbox.
+//
+// The arms differ only in the storage path the handlers use: faasfs
+// sessions with optimistic commit, per-invocation NFS mounts against a
+// disk-backed file server (the §2.1 calibration), or REST calls through
+// the stateless gateway.
+
+func init() {
+	register(Experiment{ID: "E15", Title: "FaaSFS shape: transactional POSIX traces — faasfs vs NFS vs REST", Run: runE15})
+}
+
+const (
+	// e15Chunk is the POSIX I/O granularity: applications read and write
+	// in small buffers, which the session absorbs locally and the remote
+	// baselines pay per call.
+	e15Chunk    = 256
+	e15SrcSize  = 4096
+	e15PageSize = 4096
+	e15Builds   = 8
+	e15Pages    = 8
+	e15Writers  = 4
+	e15Rounds   = 4
+	e15Deliver  = 8
+	// e15Exec is the compile step's compute time.
+	e15Exec = 200 * time.Microsecond
+)
+
+// e15Mode selects an arm's storage path.
+type e15Mode int
+
+const (
+	e15FaaSFS e15Mode = iota
+	e15NFS
+	e15REST
+)
+
+func (m e15Mode) String() string {
+	switch m {
+	case e15FaaSFS:
+		return "faasfs"
+	case e15NFS:
+		return "nfs"
+	default:
+		return "rest"
+	}
+}
+
+// e15Arm collects one deployment's trace results.
+type e15Arm struct {
+	mode                e15Mode
+	build, pages, spool time.Duration
+	failures            int
+	err                 error
+	stats               faasfs.Stats
+	headerGot           int
+	spoolGot            int
+	appOK               bool
+}
+
+func (a *e15Arm) lost() int {
+	want := e15Writers*e15Rounds + e15Deliver
+	return want - a.headerGot - a.spoolGot
+}
+
+// Deterministic trace content.
+
+func e15Src(i int) []byte {
+	b := make([]byte, e15SrcSize)
+	for j := range b {
+		b[j] = byte(i*31 + j)
+	}
+	return b
+}
+
+func e15Compile(i int, src []byte) []byte {
+	out := make([]byte, e15PageSize)
+	for j := range out {
+		out[j] = src[(j*3)%len(src)] ^ byte(i)
+	}
+	return out
+}
+
+func e15App() []byte {
+	sum := 0
+	for i := 0; i < e15Builds; i++ {
+		for _, c := range e15Compile(i, e15Src(i)) {
+			sum += int(c)
+		}
+	}
+	return []byte(fmt.Sprintf("link %d objs sum=%08x\n", e15Builds, sum))
+}
+
+func e15Header(n int) []byte { return []byte(fmt.Sprintf("%08d", n)) }
+
+// Chunked POSIX I/O through a faasfs session.
+
+func e15ReadFS(p *sim.Proc, s *faasfs.Session, path string) ([]byte, error) {
+	fd, err := s.Open(p, path)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close(fd)
+	var out []byte
+	for {
+		b, err := s.Read(p, fd, e15Chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		if len(b) < e15Chunk {
+			return out, nil
+		}
+	}
+}
+
+func e15WriteFS(p *sim.Proc, s *faasfs.Session, path string, data []byte) error {
+	fd, err := s.Creat(p, path)
+	if err != nil {
+		return err
+	}
+	defer s.Close(fd)
+	for off := 0; off < len(data); off += e15Chunk {
+		end := off + e15Chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := s.Write(p, fd, data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chunked POSIX I/O through an NFS mount: every chunk is a round trip
+// plus the server's media access.
+
+func e15ReadNFS(p *sim.Proc, m *nfsbase.Mount, h *nfsbase.Handle) ([]byte, error) {
+	var out []byte
+	for {
+		b, err := m.Read(p, h, int64(len(out)), e15Chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		if len(b) < e15Chunk {
+			return out, nil
+		}
+	}
+}
+
+func e15WriteNFS(p *sim.Proc, m *nfsbase.Mount, h *nfsbase.Handle, off int64, data []byte) error {
+	for o := 0; o < len(data); o += e15Chunk {
+		end := o + e15Chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := m.Write(p, h, off+int64(o), data[o:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// e15Pair picks writer k's two page indices for round j (distinct).
+func e15Pair(k, j int) (int, int) {
+	a := (k + j) % e15Pages
+	b := (a + 1 + k%3) % e15Pages
+	if b == a {
+		b = (a + 1) % e15Pages
+	}
+	return a, b
+}
+
+func e15Mutate(k int, page []byte) []byte {
+	out := make([]byte, len(page))
+	for j := range out {
+		out[j] = page[(j+1)%len(page)] ^ byte(k+1)
+	}
+	return out
+}
+
+func e15Run(seed int64, mode e15Mode) *e15Arm {
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	opts.ClusterCfg = cluster.Config{
+		Racks: 2, NodesPerRack: 4,
+		NodeCap: cluster.Resources{MilliCPU: 4000, MemMB: 16384},
+	}
+	cloud := core.New(opts)
+	client := cloud.NewClient(0)
+	env := cloud.Env()
+	arm := &e15Arm{mode: mode}
+
+	// Arm state, populated during setup.
+	var (
+		fs  *faasfs.FS
+		pol *fault.Policy
+		srv *nfsbase.Server
+		gw  *restbase.Gateway
+		ids map[string]object.ID
+	)
+	const creds = "e15"
+	if mode == e15FaaSFS {
+		// Conflict retries back off on the scale of a commit, not a
+		// network timeout: the loser should re-run as soon as the winner's
+		// install is visible.
+		pol = (&fault.Policy{
+			MaxAttempts: 500,
+			Backoff: fault.Backoff{
+				Base: 50 * time.Microsecond, Cap: 800 * time.Microsecond,
+				Factor: 2, JitterFrac: 0.5,
+			},
+		}).Bind(env)
+	}
+
+	setup := func(p *sim.Proc) error {
+		switch mode {
+		case e15FaaSFS:
+			var err error
+			fs, err = faasfs.Mount(p, client, faasfs.Config{
+				Commits:   metrics.NewCounter("faasfs_commits"),
+				Conflicts: metrics.NewCounter("faasfs_conflicts"),
+				Aborts:    metrics.NewCounter("faasfs_aborts"),
+			})
+			if err != nil {
+				return err
+			}
+			return fs.Run(p, client, nil, func(s *faasfs.Session) error {
+				for _, d := range []string{"/src", "/obj", "/bin", "/db", "/spool"} {
+					if err := s.Mkdir(p, d); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < e15Builds; i++ {
+					if err := s.WriteFile(p, fmt.Sprintf("/src/f%d.c", i), e15Src(i)); err != nil {
+						return err
+					}
+				}
+				if err := s.WriteFile(p, "/db/header", e15Header(0)); err != nil {
+					return err
+				}
+				for i := 0; i < e15Pages; i++ {
+					if err := s.WriteFile(p, fmt.Sprintf("/db/page%d", i), e15Mutate(0, e15Src(i)[:e15PageSize])); err != nil {
+						return err
+					}
+				}
+				return s.WriteFile(p, "/spool/mbox", nil)
+			})
+		case e15NFS:
+			srv = nfsbase.NewServer(cloud.Net(), media.Disk)
+			for i := 0; i < e15Builds; i++ {
+				if err := srv.Export(fmt.Sprintf("src/f%d.c", i), e15Src(i)); err != nil {
+					return err
+				}
+				if err := srv.Export(fmt.Sprintf("obj/f%d.o", i), nil); err != nil {
+					return err
+				}
+			}
+			if err := srv.Export("bin/app", nil); err != nil {
+				return err
+			}
+			if err := srv.Export("db/header", e15Header(0)); err != nil {
+				return err
+			}
+			for i := 0; i < e15Pages; i++ {
+				if err := srv.Export(fmt.Sprintf("db/page%d", i), e15Mutate(0, e15Src(i)[:e15PageSize])); err != nil {
+					return err
+				}
+			}
+			return srv.Export("spool/mbox", nil)
+		default:
+			gw = restbase.NewGateway(cloud.Net(), cloud.Group(), restbase.DefaultConfig())
+			ids = make(map[string]object.ID)
+			node := client.Node()
+			mk := func(name string, data []byte) error {
+				id, err := gw.Create(p, node, creds, object.Regular)
+				if err != nil {
+					return err
+				}
+				ids[name] = id
+				return gw.Put(p, node, creds, id, data, consistency.Linearizable)
+			}
+			for i := 0; i < e15Builds; i++ {
+				if err := mk(fmt.Sprintf("src/f%d.c", i), e15Src(i)); err != nil {
+					return err
+				}
+				if err := mk(fmt.Sprintf("obj/f%d.o", i), nil); err != nil {
+					return err
+				}
+			}
+			if err := mk("bin/app", nil); err != nil {
+				return err
+			}
+			if err := mk("db/header", e15Header(0)); err != nil {
+				return err
+			}
+			for i := 0; i < e15Pages; i++ {
+				if err := mk(fmt.Sprintf("db/page%d", i), e15Mutate(0, e15Src(i)[:e15PageSize])); err != nil {
+					return err
+				}
+			}
+			return mk("spool/mbox", nil)
+		}
+	}
+
+	// The three handlers. Each switches on the arm's storage path; the
+	// trace logic is identical.
+	compile := func(fc *core.FnCtx) error {
+		i := int(fc.Body[0])
+		rp := fc.Proc()
+		switch mode {
+		case e15FaaSFS:
+			return fs.Run(rp, fc.Client, pol, func(s *faasfs.Session) error {
+				src, err := e15ReadFS(rp, s, fmt.Sprintf("/src/f%d.c", i))
+				if err != nil {
+					return err
+				}
+				out := e15Compile(i, src)
+				rp.Sleep(e15Exec)
+				tmp := fmt.Sprintf("/obj/f%d.o.tmp", i)
+				if err := e15WriteFS(rp, s, tmp, out); err != nil {
+					return err
+				}
+				return s.Rename(rp, tmp, fmt.Sprintf("/obj/f%d.o", i))
+			})
+		case e15NFS:
+			m, err := srv.Mount(rp, fc.Inv.Node())
+			if err != nil {
+				return err
+			}
+			h, err := m.Lookup(rp, fmt.Sprintf("src/f%d.c", i))
+			if err != nil {
+				return err
+			}
+			src, err := e15ReadNFS(rp, m, h)
+			if err != nil {
+				return err
+			}
+			out := e15Compile(i, src)
+			rp.Sleep(e15Exec)
+			// No tmp+rename: the protocol has no atomic rename, so the
+			// build writes objects in place.
+			ho, err := m.Lookup(rp, fmt.Sprintf("obj/f%d.o", i))
+			if err != nil {
+				return err
+			}
+			return e15WriteNFS(rp, m, ho, 0, out)
+		default:
+			node := fc.Inv.Node()
+			src, err := gw.Get(rp, node, creds, ids[fmt.Sprintf("src/f%d.c", i)], consistency.Linearizable)
+			if err != nil {
+				return err
+			}
+			out := e15Compile(i, src)
+			rp.Sleep(e15Exec)
+			return gw.Put(rp, node, creds, ids[fmt.Sprintf("obj/f%d.o", i)], out, consistency.Linearizable)
+		}
+	}
+
+	link := func(fc *core.FnCtx) error {
+		rp := fc.Proc()
+		sum := 0
+		add := func(b []byte) {
+			for _, c := range b {
+				sum += int(c)
+			}
+		}
+		switch mode {
+		case e15FaaSFS:
+			return fs.Run(rp, fc.Client, pol, func(s *faasfs.Session) error {
+				sum = 0
+				for i := 0; i < e15Builds; i++ {
+					b, err := e15ReadFS(rp, s, fmt.Sprintf("/obj/f%d.o", i))
+					if err != nil {
+						return err
+					}
+					add(b)
+				}
+				app := []byte(fmt.Sprintf("link %d objs sum=%08x\n", e15Builds, sum))
+				return e15WriteFS(rp, s, "/bin/app", app)
+			})
+		case e15NFS:
+			m, err := srv.Mount(rp, fc.Inv.Node())
+			if err != nil {
+				return err
+			}
+			for i := 0; i < e15Builds; i++ {
+				h, err := m.Lookup(rp, fmt.Sprintf("obj/f%d.o", i))
+				if err != nil {
+					return err
+				}
+				b, err := e15ReadNFS(rp, m, h)
+				if err != nil {
+					return err
+				}
+				add(b)
+			}
+			app := []byte(fmt.Sprintf("link %d objs sum=%08x\n", e15Builds, sum))
+			h, err := m.Lookup(rp, "bin/app")
+			if err != nil {
+				return err
+			}
+			return e15WriteNFS(rp, m, h, 0, app)
+		default:
+			node := fc.Inv.Node()
+			for i := 0; i < e15Builds; i++ {
+				b, err := gw.Get(rp, node, creds, ids[fmt.Sprintf("obj/f%d.o", i)], consistency.Linearizable)
+				if err != nil {
+					return err
+				}
+				add(b)
+			}
+			app := []byte(fmt.Sprintf("link %d objs sum=%08x\n", e15Builds, sum))
+			return gw.Put(rp, node, creds, ids["bin/app"], app, consistency.Linearizable)
+		}
+	}
+
+	dbwriter := func(fc *core.FnCtx) error {
+		k := int(fc.Body[0])
+		rp := fc.Proc()
+		for j := 0; j < e15Rounds; j++ {
+			a, b := e15Pair(k, j)
+			pa, pb := fmt.Sprintf("db/page%d", a), fmt.Sprintf("db/page%d", b)
+			switch mode {
+			case e15FaaSFS:
+				err := fs.Run(rp, fc.Client, pol, func(s *faasfs.Session) error {
+					hb, err := s.ReadFile(rp, "/db/header")
+					if err != nil {
+						return err
+					}
+					n, err := strconv.Atoi(string(hb))
+					if err != nil {
+						return err
+					}
+					da, err := e15ReadFS(rp, s, "/"+pa)
+					if err != nil {
+						return err
+					}
+					db, err := e15ReadFS(rp, s, "/"+pb)
+					if err != nil {
+						return err
+					}
+					if err := e15WriteFS(rp, s, "/"+pa, e15Mutate(k, da)); err != nil {
+						return err
+					}
+					if err := e15WriteFS(rp, s, "/"+pb, e15Mutate(k, db)); err != nil {
+						return err
+					}
+					return s.WriteFile(rp, "/db/header", e15Header(n+1))
+				})
+				if err != nil {
+					return err
+				}
+			case e15NFS:
+				m, err := srv.Mount(rp, fc.Inv.Node())
+				if err != nil {
+					return err
+				}
+				hh, err := m.Lookup(rp, "db/header")
+				if err != nil {
+					return err
+				}
+				hb, err := m.Read(rp, hh, 0, 8)
+				if err != nil {
+					return err
+				}
+				n, err := strconv.Atoi(string(hb))
+				if err != nil {
+					return err
+				}
+				ha, err := m.Lookup(rp, pa)
+				if err != nil {
+					return err
+				}
+				da, err := e15ReadNFS(rp, m, ha)
+				if err != nil {
+					return err
+				}
+				hbh, err := m.Lookup(rp, pb)
+				if err != nil {
+					return err
+				}
+				db, err := e15ReadNFS(rp, m, hbh)
+				if err != nil {
+					return err
+				}
+				if err := e15WriteNFS(rp, m, ha, 0, e15Mutate(k, da)); err != nil {
+					return err
+				}
+				if err := e15WriteNFS(rp, m, hbh, 0, e15Mutate(k, db)); err != nil {
+					return err
+				}
+				if err := m.Write(rp, hh, 0, e15Header(n+1)); err != nil {
+					return err
+				}
+			default:
+				node := fc.Inv.Node()
+				hb, err := gw.Get(rp, node, creds, ids["db/header"], consistency.Linearizable)
+				if err != nil {
+					return err
+				}
+				n, err := strconv.Atoi(string(hb))
+				if err != nil {
+					return err
+				}
+				da, err := gw.Get(rp, node, creds, ids[pa], consistency.Linearizable)
+				if err != nil {
+					return err
+				}
+				db, err := gw.Get(rp, node, creds, ids[pb], consistency.Linearizable)
+				if err != nil {
+					return err
+				}
+				if err := gw.Put(rp, node, creds, ids[pa], e15Mutate(k, da), consistency.Linearizable); err != nil {
+					return err
+				}
+				if err := gw.Put(rp, node, creds, ids[pb], e15Mutate(k, db), consistency.Linearizable); err != nil {
+					return err
+				}
+				if err := gw.Put(rp, node, creds, ids["db/header"], e15Header(n+1), consistency.Linearizable); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	deliver := func(fc *core.FnCtx) error {
+		d := int(fc.Body[0])
+		rp := fc.Proc()
+		line := []byte(fmt.Sprintf("msg %02d\n", d))
+		switch mode {
+		case e15FaaSFS:
+			return fs.Run(rp, fc.Client, pol, func(s *faasfs.Session) error {
+				return s.AppendFile(rp, "/spool/mbox", line)
+			})
+		case e15NFS:
+			m, err := srv.Mount(rp, fc.Inv.Node())
+			if err != nil {
+				return err
+			}
+			h, err := m.Lookup(rp, "spool/mbox")
+			if err != nil {
+				return err
+			}
+			// Find EOF by reading, then write there: the race the
+			// transactional arm does not have.
+			cur, err := e15ReadNFS(rp, m, h)
+			if err != nil {
+				return err
+			}
+			return m.Write(rp, h, int64(len(cur)), line)
+		default:
+			node := fc.Inv.Node()
+			cur, err := gw.Get(rp, node, creds, ids["spool/mbox"], consistency.Linearizable)
+			if err != nil {
+				return err
+			}
+			return gw.Put(rp, node, creds, ids["spool/mbox"], append(append([]byte(nil), cur...), line...), consistency.Linearizable)
+		}
+	}
+
+	// Final-state audit, through the arm's own read path.
+	audit := func(p *sim.Proc) error {
+		var header, mbox, app []byte
+		switch mode {
+		case e15FaaSFS:
+			s := fs.Begin(client)
+			defer s.Abort()
+			var err error
+			if header, err = s.ReadFile(p, "/db/header"); err != nil {
+				return err
+			}
+			if mbox, err = s.ReadFile(p, "/spool/mbox"); err != nil {
+				return err
+			}
+			if app, err = s.ReadFile(p, "/bin/app"); err != nil {
+				return err
+			}
+			arm.stats = fs.Stats()
+		case e15NFS:
+			m, err := srv.Mount(p, client.Node())
+			if err != nil {
+				return err
+			}
+			read := func(name string) ([]byte, error) {
+				h, err := m.Lookup(p, name)
+				if err != nil {
+					return nil, err
+				}
+				return e15ReadNFS(p, m, h)
+			}
+			if header, err = read("db/header"); err != nil {
+				return err
+			}
+			if mbox, err = read("spool/mbox"); err != nil {
+				return err
+			}
+			if app, err = read("bin/app"); err != nil {
+				return err
+			}
+		default:
+			node := client.Node()
+			var err error
+			if header, err = gw.Get(p, node, creds, ids["db/header"], consistency.Linearizable); err != nil {
+				return err
+			}
+			if mbox, err = gw.Get(p, node, creds, ids["spool/mbox"], consistency.Linearizable); err != nil {
+				return err
+			}
+			if app, err = gw.Get(p, node, creds, ids["bin/app"], consistency.Linearizable); err != nil {
+				return err
+			}
+		}
+		arm.headerGot, _ = strconv.Atoi(string(header))
+		arm.spoolGot = strings.Count(string(mbox), "\n")
+		arm.appOK = string(app) == string(e15App())
+		return nil
+	}
+
+	env.Go("driver", func(p *sim.Proc) {
+		if err := setup(p); err != nil {
+			arm.err = fmt.Errorf("setup: %w", err)
+			return
+		}
+		fnRes := cluster.Resources{MilliCPU: 990, MemMB: 256}
+		reg := func(name string, h core.HandlerFunc) (core.Ref, error) {
+			return client.RegisterFunction(p, core.FnConfig{
+				Name: name, Kind: platform.Wasm, Res: fnRes,
+				TypicalExec: e15Exec, Handler: h,
+			})
+		}
+		ccRef, err := reg("compile", compile)
+		if err == nil {
+			var r core.Ref
+			if r, err = reg("link", link); err == nil {
+				ccLink := r
+				var wRef, dRef core.Ref
+				if wRef, err = reg("dbwriter", dbwriter); err == nil {
+					if dRef, err = reg("deliver", deliver); err == nil {
+						runTrace := func(tasks []core.GraphTask) time.Duration {
+							start := p.Now()
+							res, gerr := client.RunGraph(p, tasks)
+							if gerr != nil {
+								arm.failures++
+							}
+							for _, tr := range res {
+								if tr != nil && tr.Err != nil {
+									arm.failures++
+								}
+							}
+							return p.Now().Sub(start)
+						}
+
+						var build []core.GraphTask
+						after := make([]string, 0, e15Builds)
+						for i := 0; i < e15Builds; i++ {
+							name := fmt.Sprintf("cc%d", i)
+							build = append(build, core.GraphTask{Name: name, Fn: ccRef, Body: []byte{byte(i)}})
+							after = append(after, name)
+						}
+						build = append(build, core.GraphTask{Name: "link", Fn: ccLink, Body: []byte{0}, After: after})
+						arm.build = runTrace(build)
+
+						var dbg []core.GraphTask
+						for k := 0; k < e15Writers; k++ {
+							dbg = append(dbg, core.GraphTask{Name: fmt.Sprintf("w%d", k), Fn: wRef, Body: []byte{byte(k)}})
+						}
+						arm.pages = runTrace(dbg)
+
+						var spool []core.GraphTask
+						for d := 0; d < e15Deliver; d++ {
+							spool = append(spool, core.GraphTask{Name: fmt.Sprintf("d%d", d), Fn: dRef, Body: []byte{byte(d)}})
+						}
+						arm.spool = runTrace(spool)
+
+						err = audit(p)
+					}
+				}
+			}
+		}
+		if err != nil {
+			arm.err = err
+		}
+	})
+	env.Run()
+	cloud.Runtime().Drain()
+	return arm
+}
+
+func runE15(seed int64) *Report {
+	r := &Report{ID: "E15", Title: "FaaSFS shape: transactional POSIX traces — faasfs vs NFS vs REST"}
+	ffs := e15Run(seed, e15FaaSFS)
+	nfs := e15Run(seed, e15NFS)
+	rest := e15Run(seed, e15REST)
+	arms := []*e15Arm{ffs, nfs, rest}
+
+	for _, a := range arms {
+		if a.err != nil {
+			r.Check("arm-"+a.mode.String(), false, "arm error: %v", a.err)
+			return r
+		}
+	}
+
+	t1 := metrics.NewTable(
+		fmt.Sprintf("Trace makespans: %d-file build + link, %d writers × %d txns on %d pages, %d mail deliveries (%d B I/O chunks)",
+			e15Builds, e15Writers, e15Rounds, e15Pages, e15Deliver, e15Chunk),
+		"Arm", "Build", "Page store", "Mail spool", "Task failures")
+	for _, a := range arms {
+		t1.Row(a.mode.String(), metrics.FmtDuration(a.build), metrics.FmtDuration(a.pages),
+			metrics.FmtDuration(a.spool), a.failures)
+	}
+	t1.Note("faasfs sessions absorb chunked I/O locally and pay one commit; NFS pays a disk round trip per chunk; REST pays the stateless envelope per object")
+	r.Tables = append(r.Tables, t1)
+
+	wantHeader := e15Writers * e15Rounds
+	t2 := metrics.NewTable("Correctness under concurrent writers",
+		"Arm", "DB commits (want "+strconv.Itoa(wantHeader)+")", "Mail lines (want "+strconv.Itoa(e15Deliver)+")", "Lost updates", "Link output")
+	for _, a := range arms {
+		app := "ok"
+		if !a.appOK {
+			app = "CORRUPT"
+		}
+		t2.Row(a.mode.String(), a.headerGot, a.spoolGot, a.lost(), app)
+	}
+	t2.Note("the baselines race read-modify-write; faasfs aborts and retries conflicting transactions until they serialize")
+	r.Tables = append(r.Tables, t2)
+
+	st := ffs.stats
+	t3 := metrics.NewTable("faasfs optimistic-commit telemetry",
+		"Commits", "Conflicts", "Aborts", "Replays", "Conflict rate")
+	t3.Row(st.Commits, st.Conflicts, st.Aborts, st.Replays, fmt.Sprintf("%.1f%%", 100*st.ConflictRate()))
+	t3.Note("every abort in this run is a conflict abort; each conflicted transaction re-runs under the retry policy until it commits")
+	r.Tables = append(r.Tables, t3)
+
+	r.Check("arms-complete", ffs.failures == 0 && nfs.failures == 0 && rest.failures == 0,
+		"every task completes: %d/%d/%d failures across faasfs/nfs/rest",
+		ffs.failures, nfs.failures, rest.failures)
+	wantCommits := int64(1 + e15Builds + 1 + e15Writers*e15Rounds + e15Deliver)
+	r.Check("faasfs-serializable",
+		ffs.headerGot == wantHeader && ffs.spoolGot == e15Deliver && ffs.appOK && st.Commits == wantCommits,
+		"faasfs: %d/%d db commits, %d/%d mail lines, link ok=%v, %d committed txns (want %d) — no lost updates",
+		ffs.headerGot, wantHeader, ffs.spoolGot, e15Deliver, ffs.appOK, st.Commits, wantCommits)
+	r.Check("conflicts-observed-and-retried",
+		st.Conflicts > 0 && st.Aborts == st.Conflicts,
+		"%d conflicts detected and retried to success (%d aborts, %.1f%% conflict rate)",
+		st.Conflicts, st.Aborts, 100*st.ConflictRate())
+	r.Check("baselines-lose-updates",
+		nfs.lost() > 0 && rest.lost() > 0,
+		"nfs loses %d updates, rest loses %d — unsynchronized read-modify-write under the same traces",
+		nfs.lost(), rest.lost())
+	r.Check("faasfs-beats-nfs",
+		ffs.build+ffs.pages+ffs.spool < nfs.build+nfs.pages+nfs.spool,
+		"total trace time %v (faasfs) vs %v (nfs)",
+		metrics.FmtDuration(ffs.build+ffs.pages+ffs.spool), metrics.FmtDuration(nfs.build+nfs.pages+nfs.spool))
+	r.Check("faasfs-beats-rest",
+		ffs.build+ffs.pages+ffs.spool < rest.build+rest.pages+rest.spool,
+		"total trace time %v (faasfs) vs %v (rest)",
+		metrics.FmtDuration(ffs.build+ffs.pages+ffs.spool), metrics.FmtDuration(rest.build+rest.pages+rest.spool))
+	return r
+}

@@ -12,8 +12,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registry has %d experiments, want 14 (E1–E14)", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments, want 15 (E1–E15)", len(all))
 	}
 	for i, e := range all {
 		if e.ID != "E"+itoa(i+1) {
@@ -88,6 +88,7 @@ func TestE11Availability(t *testing.T) { runAndCheck(t, "E11", 0) }
 func TestE12Variants(t *testing.T)     { runAndCheck(t, "E12", 0) }
 func TestE13Overload(t *testing.T)     { runAndCheck(t, "E13", 0) }
 func TestE14Cache(t *testing.T)        { runAndCheck(t, "E14", 0) }
+func TestE15FaaSFS(t *testing.T)       { runAndCheck(t, "E15", 0) }
 
 func render(r *Report) string {
 	var b strings.Builder
@@ -98,7 +99,7 @@ func render(r *Report) string {
 // Determinism: simulated experiments must render identically for the same
 // seed. (E1 is excluded: it measures wall-clock time.)
 func TestDeterministicBySeed(t *testing.T) {
-	for _, id := range []string{"E2", "E4", "E6", "E7", "E13", "E14"} {
+	for _, id := range []string{"E2", "E4", "E6", "E7", "E13", "E14", "E15"} {
 		e, _ := Get(id)
 		a := render(e.Run(42))
 		b := render(e.Run(42))

@@ -1,0 +1,728 @@
+package faasfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Seek whence values (mirroring io.Seek*).
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// snapEntry is one first-touch snapshot read: the object's state at the
+// version recorded in the session's read set.
+type snapEntry struct {
+	data    []byte
+	entries map[string]uint64
+}
+
+// localObj is one write-set entry: a full local copy of the object the
+// session is mutating. created marks objects this session made (they are
+// invisible to everyone until commit links them).
+type localObj struct {
+	dir     bool
+	created bool
+	data    []byte
+	entries map[string]uint64
+}
+
+// fdesc is one open file descriptor.
+type fdesc struct {
+	id  uint64
+	off int64
+}
+
+// Session is a snapshot-isolated transaction over one mounted FS. A
+// session is single-process: one function invocation opens it, works
+// through POSIX verbs, and either Commits or Aborts. Reads are served
+// from a first-touch snapshot plus the local write set; nothing touches
+// shared state until Commit installs the write set atomically.
+type Session struct {
+	fs    *FS
+	cl    *core.Client
+	seq   uint64            // fs.commitSeq at begin (trace/debug)
+	stamp consistency.Stamp // newest store stamp pinned at begin
+	snap  map[uint64]*snapEntry
+	// readSet records the FIRST version observed per object (sampled
+	// from the mount's authority table just before the bytes load);
+	// validation compares it against the table again at commit.
+	readSet map[uint64]uint64
+	// dirSeen records, per directory, the entry names this session looked
+	// up and the value observed in the base snapshot (0 = absent).
+	// Directory reads validate per entry, not per version: concurrent
+	// sessions touching different names in the same directory commute, so
+	// parallel creates in a shared directory do not conflict (the FaaSFS
+	// relaxation for directories).
+	dirSeen map[uint64]map[string]uint64
+	// listed marks directories whose full table the session observed
+	// (ReadDir, Stat, emptiness checks): those depend on every entry and
+	// fall back to whole-version validation.
+	listed map[uint64]bool
+	local  map[uint64]*localObj
+	// appends holds blind O_APPEND deltas: AppendFile on a file the
+	// session has not otherwise read or written records the bytes here
+	// without loading the file, so the file never joins the read set.
+	// Commit validates only that the target still exists and folds the
+	// delta onto whatever contents are then current — concurrent
+	// appenders to a shared file all commit, like O_APPEND writers
+	// sharing a log.
+	appends map[uint64][]byte
+	newRefs map[uint64]core.Ref
+	fds     map[int]*fdesc
+	nextFD  int
+	done    bool
+}
+
+// sortedKeys returns a map's keys in ascending order — every map
+// iteration in this package goes through it (or a string twin) so replay
+// order is deterministic.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// unionNames returns the union of two tables' keys (as a set for sorted
+// iteration).
+func unionNames(a, b map[string]uint64) map[string]uint64 {
+	u := make(map[string]uint64, len(a)+len(b))
+	for n := range a {
+		u[n] = 1
+	}
+	for n := range b {
+		u[n] = 1
+	}
+	return u
+}
+
+// note records the first observed version of an object.
+func (s *Session) note(id uint64, ver uint64) {
+	if _, ok := s.readSet[id]; !ok {
+		s.readSet[id] = ver
+	}
+}
+
+// seeEntry records the base-snapshot observation of one directory entry
+// lookup (first observation wins, like note). Session-created directories
+// have no base and need no record: their whole table is a commit delta.
+func (s *Session) seeEntry(id uint64, name string) {
+	e, ok := s.snap[id]
+	if !ok {
+		return
+	}
+	m := s.dirSeen[id]
+	if m == nil {
+		m = map[string]uint64{}
+		s.dirSeen[id] = m
+	}
+	if _, ok := m[name]; !ok {
+		m[name] = e.entries[name]
+	}
+}
+
+// isDirID reports whether id names a directory, without I/O: the write
+// set knows for session-created objects, the mount's committed index for
+// everything else.
+func (s *Session) isDirID(id uint64) bool {
+	if lo, ok := s.local[id]; ok {
+		return lo.dir
+	}
+	return s.fs.isDir[id]
+}
+
+// fileData returns the session view of a file's payload: write set,
+// then snapshot, then a versioned load that joins the read set.
+func (s *Session) fileData(p *sim.Proc, id uint64) ([]byte, error) {
+	if s.isDirID(id) {
+		return nil, ErrIsDir
+	}
+	if ap, ok := s.appends[id]; ok {
+		// The session appended blind earlier and now wants the contents:
+		// degrade to a buffered copy (the base joins the read set) with
+		// the pending appends folded on in order.
+		delete(s.appends, id)
+		lo, err := s.localFile(p, id)
+		if err != nil {
+			return nil, err
+		}
+		lo.data = append(lo.data, ap...)
+	}
+	if lo, ok := s.local[id]; ok {
+		return lo.data, nil
+	}
+	if e, ok := s.snap[id]; ok {
+		return e.data, nil
+	}
+	r, ok := s.fs.ref(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: object %d", ErrNoEnt, id)
+	}
+	// Sample the authority's version before the load: pairing old bytes
+	// with an old version validates, old bytes with a newer version
+	// conflicts — new bytes can never pair with an old version.
+	ver := s.fs.ver[id]
+	data, _, err := s.cl.GetVersioned(p, r)
+	if err != nil {
+		return nil, err
+	}
+	s.snap[id] = &snapEntry{data: data}
+	s.note(id, ver)
+	return data, nil
+}
+
+// dirEntries returns the session view of a directory's entry table.
+func (s *Session) dirEntries(p *sim.Proc, id uint64) (map[string]uint64, error) {
+	if !s.isDirID(id) {
+		return nil, ErrNotDir
+	}
+	if lo, ok := s.local[id]; ok {
+		return lo.entries, nil
+	}
+	if e, ok := s.snap[id]; ok {
+		return e.entries, nil
+	}
+	r, ok := s.fs.ref(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: directory %d", ErrNoEnt, id)
+	}
+	ver := s.fs.ver[id]
+	ents, _, err := s.cl.ReadDir(p, r)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string]uint64, len(ents))
+	for _, e := range ents {
+		table[e.Name] = e.ID
+	}
+	s.snap[id] = &snapEntry{entries: table}
+	s.note(id, ver)
+	return table, nil
+}
+
+// localFile copies a file into the write set (loading it first, so the
+// base version joins the read set and overlapping writers can never both
+// commit).
+func (s *Session) localFile(p *sim.Proc, id uint64) (*localObj, error) {
+	if lo, ok := s.local[id]; ok {
+		if lo.dir {
+			return nil, ErrIsDir
+		}
+		return lo, nil
+	}
+	data, err := s.fileData(p, id)
+	if err != nil {
+		return nil, err
+	}
+	lo := &localObj{data: append([]byte(nil), data...)}
+	s.local[id] = lo
+	return lo, nil
+}
+
+// localDir copies a directory's entry table into the write set.
+func (s *Session) localDir(p *sim.Proc, id uint64) (*localObj, error) {
+	if lo, ok := s.local[id]; ok {
+		if !lo.dir {
+			return nil, ErrNotDir
+		}
+		return lo, nil
+	}
+	ents, err := s.dirEntries(p, id)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string]uint64, len(ents))
+	for _, n := range sortedNames(ents) {
+		table[n] = ents[n]
+	}
+	lo := &localObj{dir: true, entries: table}
+	s.local[id] = lo
+	return lo, nil
+}
+
+// splitPath validates and splits a slash-separated path. The empty path
+// ("" or "/") is the root.
+func splitPath(path string) ([]string, error) {
+	trimmed := strings.Trim(path, "/")
+	if trimmed == "" {
+		return nil, nil
+	}
+	parts := strings.Split(trimmed, "/")
+	for _, c := range parts {
+		if c == "" || c == "." || c == ".." {
+			return nil, fmt.Errorf("%w: %q", ErrInvalidPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// resolve walks path from the root through the session view.
+func (s *Session) resolve(p *sim.Proc, path string) (uint64, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, err
+	}
+	id := uint64(s.fs.root.ObjectID())
+	for _, c := range parts {
+		ents, err := s.dirEntries(p, id)
+		if err != nil {
+			return 0, err
+		}
+		s.seeEntry(id, c)
+		child, ok := ents[c]
+		if !ok {
+			return 0, fmt.Errorf("%w: %s", ErrNoEnt, path)
+		}
+		id = child
+	}
+	return id, nil
+}
+
+// resolveParent walks to path's parent directory and returns its id plus
+// the final component.
+func (s *Session) resolveParent(p *sim.Proc, path string) (uint64, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, "", err
+	}
+	if len(parts) == 0 {
+		return 0, "", fmt.Errorf("%w: %q has no parent", ErrInvalidPath, path)
+	}
+	id := uint64(s.fs.root.ObjectID())
+	for _, c := range parts[:len(parts)-1] {
+		ents, err := s.dirEntries(p, id)
+		if err != nil {
+			return 0, "", err
+		}
+		s.seeEntry(id, c)
+		child, ok := ents[c]
+		if !ok {
+			return 0, "", fmt.Errorf("%w: %s", ErrNoEnt, path)
+		}
+		id = child
+	}
+	if !s.isDirID(id) {
+		return 0, "", ErrNotDir
+	}
+	return id, parts[len(parts)-1], nil
+}
+
+func (s *Session) alive() error {
+	if s.done {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Open opens an existing file and returns a descriptor positioned at 0.
+func (s *Session) Open(p *sim.Proc, path string) (int, error) {
+	if err := s.alive(); err != nil {
+		return -1, err
+	}
+	id, err := s.resolve(p, path)
+	if err != nil {
+		return -1, err
+	}
+	if s.isDirID(id) {
+		return -1, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	fd := s.nextFD
+	s.nextFD++
+	s.fds[fd] = &fdesc{id: id}
+	return fd, nil
+}
+
+// Creat creates (or truncates) a file and returns a descriptor at 0.
+func (s *Session) Creat(p *sim.Proc, path string) (int, error) {
+	if err := s.alive(); err != nil {
+		return -1, err
+	}
+	parent, name, err := s.resolveParent(p, path)
+	if err != nil {
+		return -1, err
+	}
+	ents, err := s.dirEntries(p, parent)
+	if err != nil {
+		return -1, err
+	}
+	s.seeEntry(parent, name)
+	var id uint64
+	if child, ok := ents[name]; ok {
+		if s.isDirID(child) {
+			return -1, fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		lo, err := s.localFile(p, child)
+		if err != nil {
+			return -1, err
+		}
+		lo.data = nil
+		id = child
+	} else {
+		r, err := s.cl.Create(p, core.KindRegular)
+		if err != nil {
+			return -1, err
+		}
+		id = uint64(r.ObjectID())
+		s.newRefs[id] = r
+		s.local[id] = &localObj{created: true}
+		pd, err := s.localDir(p, parent)
+		if err != nil {
+			return -1, err
+		}
+		pd.entries[name] = id
+	}
+	fd := s.nextFD
+	s.nextFD++
+	s.fds[fd] = &fdesc{id: id}
+	return fd, nil
+}
+
+// Mkdir creates an empty directory.
+func (s *Session) Mkdir(p *sim.Proc, path string) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	parent, name, err := s.resolveParent(p, path)
+	if err != nil {
+		return err
+	}
+	ents, err := s.dirEntries(p, parent)
+	if err != nil {
+		return err
+	}
+	s.seeEntry(parent, name)
+	if _, ok := ents[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	r, err := s.cl.Create(p, core.KindDirectory)
+	if err != nil {
+		return err
+	}
+	id := uint64(r.ObjectID())
+	s.newRefs[id] = r
+	s.local[id] = &localObj{dir: true, created: true, entries: map[string]uint64{}}
+	pd, err := s.localDir(p, parent)
+	if err != nil {
+		return err
+	}
+	pd.entries[name] = id
+	return nil
+}
+
+// Unlink removes a file or an empty directory.
+func (s *Session) Unlink(p *sim.Proc, path string) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	parent, name, err := s.resolveParent(p, path)
+	if err != nil {
+		return err
+	}
+	ents, err := s.dirEntries(p, parent)
+	if err != nil {
+		return err
+	}
+	s.seeEntry(parent, name)
+	child, ok := ents[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoEnt, path)
+	}
+	if s.isDirID(child) {
+		// The emptiness check observes the child's whole table, so the
+		// child validates by version: a concurrent session filling the
+		// directory conflicts with this removal instead of losing its
+		// files.
+		centries, err := s.dirEntries(p, child)
+		if err != nil {
+			return err
+		}
+		s.listed[child] = true
+		if len(centries) > 0 {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+		}
+	}
+	pd, err := s.localDir(p, parent)
+	if err != nil {
+		return err
+	}
+	delete(pd.entries, name)
+	return nil
+}
+
+// Rename moves oldpath to newpath, replacing a plain-file target.
+func (s *Session) Rename(p *sim.Proc, oldpath, newpath string) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	op, oname, err := s.resolveParent(p, oldpath)
+	if err != nil {
+		return err
+	}
+	oents, err := s.dirEntries(p, op)
+	if err != nil {
+		return err
+	}
+	s.seeEntry(op, oname)
+	id, ok := oents[oname]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoEnt, oldpath)
+	}
+	np, nname, err := s.resolveParent(p, newpath)
+	if err != nil {
+		return err
+	}
+	nents, err := s.dirEntries(p, np)
+	if err != nil {
+		return err
+	}
+	s.seeEntry(np, nname)
+	if target, exists := nents[nname]; exists && s.isDirID(target) {
+		return fmt.Errorf("%w: %s", ErrIsDir, newpath)
+	}
+	od, err := s.localDir(p, op)
+	if err != nil {
+		return err
+	}
+	delete(od.entries, oname)
+	nd, err := s.localDir(p, np)
+	if err != nil {
+		return err
+	}
+	nd.entries[nname] = id
+	return nil
+}
+
+// ReadDir lists a directory's entry names, sorted.
+func (s *Session) ReadDir(p *sim.Proc, path string) ([]string, error) {
+	if err := s.alive(); err != nil {
+		return nil, err
+	}
+	id, err := s.resolve(p, path)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := s.dirEntries(p, id)
+	if err != nil {
+		return nil, err
+	}
+	s.listed[id] = true
+	return sortedNames(ents), nil
+}
+
+// FileInfo is the metadata Stat returns.
+type FileInfo struct {
+	Name string
+	Size int64
+	Dir  bool
+}
+
+// Stat returns metadata for the object at path through the session view.
+func (s *Session) Stat(p *sim.Proc, path string) (FileInfo, error) {
+	var info FileInfo
+	if err := s.alive(); err != nil {
+		return info, err
+	}
+	id, err := s.resolve(p, path)
+	if err != nil {
+		return info, err
+	}
+	parts, _ := splitPath(path)
+	if len(parts) > 0 {
+		info.Name = parts[len(parts)-1]
+	}
+	if s.isDirID(id) {
+		ents, err := s.dirEntries(p, id)
+		if err != nil {
+			return info, err
+		}
+		s.listed[id] = true
+		info.Dir = true
+		info.Size = int64(len(ents))
+		return info, nil
+	}
+	data, err := s.fileData(p, id)
+	if err != nil {
+		return info, err
+	}
+	info.Size = int64(len(data))
+	return info, nil
+}
+
+// Read reads up to n bytes at the descriptor's offset and advances it.
+func (s *Session) Read(p *sim.Proc, fd int, n int) ([]byte, error) {
+	if err := s.alive(); err != nil {
+		return nil, err
+	}
+	d, ok := s.fds[fd]
+	if !ok {
+		return nil, ErrBadFD
+	}
+	data, err := s.fileData(p, d.id)
+	if err != nil {
+		return nil, err
+	}
+	if d.off >= int64(len(data)) || n <= 0 {
+		return nil, nil
+	}
+	end := d.off + int64(n)
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	out := append([]byte(nil), data[d.off:end]...)
+	d.off = end
+	return out, nil
+}
+
+// Write writes data at the descriptor's offset (growing the file and
+// zero-filling any hole in one step) and advances the offset.
+func (s *Session) Write(p *sim.Proc, fd int, data []byte) (int, error) {
+	if err := s.alive(); err != nil {
+		return 0, err
+	}
+	d, ok := s.fds[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	lo, err := s.localFile(p, d.id)
+	if err != nil {
+		return 0, err
+	}
+	if gap := d.off - int64(len(lo.data)); gap > 0 {
+		lo.data = append(lo.data, make([]byte, gap)...)
+	}
+	end := d.off + int64(len(data))
+	if end <= int64(len(lo.data)) {
+		copy(lo.data[d.off:end], data)
+	} else {
+		lo.data = append(lo.data[:d.off], data...)
+	}
+	d.off = end
+	return len(data), nil
+}
+
+// Seek repositions the descriptor and returns the new offset.
+func (s *Session) Seek(p *sim.Proc, fd int, off int64, whence int) (int64, error) {
+	if err := s.alive(); err != nil {
+		return 0, err
+	}
+	d, ok := s.fds[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	switch whence {
+	case SeekSet:
+		d.off = off
+	case SeekCur:
+		d.off += off
+	case SeekEnd:
+		data, err := s.fileData(p, d.id)
+		if err != nil {
+			return 0, err
+		}
+		d.off = int64(len(data)) + off
+	default:
+		return 0, fmt.Errorf("%w: whence %d", ErrInvalidPath, whence)
+	}
+	if d.off < 0 {
+		d.off = 0
+	}
+	return d.off, nil
+}
+
+// Close releases a descriptor.
+func (s *Session) Close(fd int) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	if _, ok := s.fds[fd]; !ok {
+		return ErrBadFD
+	}
+	delete(s.fds, fd)
+	return nil
+}
+
+// ReadFile reads a whole file — open/read/close in one verb.
+func (s *Session) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+	if err := s.alive(); err != nil {
+		return nil, err
+	}
+	id, err := s.resolve(p, path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := s.fileData(p, id)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// WriteFile creates or truncates path and writes data — creat/write/close
+// in one verb.
+func (s *Session) WriteFile(p *sim.Proc, path string, data []byte) error {
+	fd, err := s.Creat(p, path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Write(p, fd, data); err != nil {
+		return err
+	}
+	return s.Close(fd)
+}
+
+// AppendFile appends data to an existing file with O_APPEND semantics:
+// if the session holds no other view of the file, the bytes are recorded
+// as a blind append delta — the file stays out of the read set, commit
+// validates only its existence, and the delta lands at the end of
+// whatever the file holds at commit time. Appends therefore commute:
+// concurrent appenders to a shared spool all commit. A session that has
+// already read or written the file stays on the buffered path so its own
+// operations keep their program order.
+func (s *Session) AppendFile(p *sim.Proc, path string, data []byte) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	id, err := s.resolve(p, path)
+	if err != nil {
+		return err
+	}
+	if s.isDirID(id) {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	if _, inLocal := s.local[id]; inLocal || s.snapHas(id) {
+		lo, err := s.localFile(p, id)
+		if err != nil {
+			return err
+		}
+		lo.data = append(lo.data, data...)
+		return nil
+	}
+	s.appends[id] = append(s.appends[id], data...)
+	return nil
+}
+
+// snapHas reports whether the session already snapshotted an object (so
+// a blind append would reorder against its own earlier read).
+func (s *Session) snapHas(id uint64) bool {
+	_, ok := s.snap[id]
+	return ok
+}

@@ -131,8 +131,10 @@ func (f *FS) Write(p *sim.Proc, fdn int, data []byte) (int, error) {
 		return 0, err
 	}
 	buf := f.files[d.name]
-	for int64(len(buf)) < d.off {
-		buf = append(buf, 0)
+	if gap := d.off - int64(len(buf)); gap > 0 {
+		// One grow for the whole hole; a byte-at-a-time append is O(n²)
+		// for sparse writes far past EOF.
+		buf = append(buf, make([]byte, gap)...)
 	}
 	buf = append(buf[:d.off], data...)
 	f.files[d.name] = buf

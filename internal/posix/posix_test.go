@@ -224,3 +224,51 @@ func TestSparseWrite(t *testing.T) {
 	})
 	env.Run()
 }
+
+func TestSparseWriteFarPastEOF(t *testing.T) {
+	// Regression: the hole fill used to grow byte-at-a-time (O(n²) for a
+	// seek far past EOF); it must be a single zero-fill grow and the hole
+	// must read back as zeros.
+	env, net := setup(9)
+	fs := NewLocal(net, net.AddNode(0))
+	env.Go("c", func(p *sim.Proc) {
+		if err := fs.Creat(p, "f"); err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := fs.Open(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		const hole = 1 << 20
+		if err := fs.Seek(fd, hole); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := fs.Write(p, fd, []byte("tail")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fs.Seek(fd, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, hole+4)
+		n, err := fs.Read(p, fd, buf)
+		if err != nil || n != hole+4 {
+			t.Errorf("Read = %d, %v", n, err)
+			return
+		}
+		for i := 0; i < hole; i += 4096 {
+			if buf[i] != 0 {
+				t.Errorf("hole byte %d = %d, want 0", i, buf[i])
+				return
+			}
+		}
+		if string(buf[hole:]) != "tail" {
+			t.Errorf("tail = %q", buf[hole:])
+		}
+	})
+	env.Run()
+}

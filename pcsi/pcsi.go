@@ -39,6 +39,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/faas"
+	"repro/internal/faasfs"
 	"repro/internal/fault"
 	"repro/internal/fncache"
 	"repro/internal/object"
@@ -160,11 +161,36 @@ type (
 	ORSet = fncache.ORSet
 	// LMap is a map-of-lattices; entries join pointwise.
 	LMap = fncache.LMap
+	// FaaSFS is a shared, transactional, POSIX-shaped file system over
+	// PCSI objects. Mount one with MountFaaSFS; each function invocation
+	// opens a snapshot-isolated FaaSFSSession and commits optimistically.
+	FaaSFS = faasfs.FS
+	// FaaSFSSession is one snapshot-isolated transaction over a mounted
+	// FaaSFS: a POSIX surface (Open/Creat/Read/Write/Seek/Close, Mkdir,
+	// Unlink, Rename, ReadDir, Stat) plus Commit/Abort.
+	FaaSFSSession = faasfs.Session
+	// FaaSFSConfig parameterises a mount (transaction counters).
+	FaaSFSConfig = faasfs.Config
+	// FaaSFSStats snapshots a mount's commit/conflict/abort/replay
+	// counters (FaaSFS.Stats()).
+	FaaSFSStats = faasfs.Stats
 )
 
 // ErrOverload is returned by admission-controlled operations when load is
 // shed. It classifies as fatal — retry layers must not amplify overload.
 var ErrOverload = qos.ErrOverload
+
+// ErrConflict is returned by FaaSFSSession.Commit when optimistic
+// validation fails. It classifies as transient — retry policies re-run
+// the whole transaction against a fresh snapshot.
+var ErrConflict = faasfs.ErrConflict
+
+// MountFaaSFS creates a fresh transactional file system on the client's
+// cloud. Sessions open with FaaSFS.Begin (or run whole transactions with
+// FaaSFS.Run, which retries conflicts under a RetryPolicy).
+func MountFaaSFS(p *Proc, cl *Client, cfg FaaSFSConfig) (*FaaSFS, error) {
+	return faasfs.Mount(p, cl, cfg)
+}
 
 // Admission classes (for Cloud.QoS().ClassStats).
 const (

@@ -54,6 +54,13 @@ cmp /tmp/e14-a.txt /tmp/e14-b.txt || { echo 'E14 not byte-identical across runs'
 grep -q '\[PASS\] hot-keys-hit' /tmp/e14-a.txt || { echo 'E14 hit-rate shape check missing' >&2; exit 1; }
 grep -q '\[PASS\] lease-zero-stale' /tmp/e14-a.txt || { echo 'E14 lease coherence check missing' >&2; exit 1; }
 
+echo '== E15 faasfs smoke (transactional POSIX beats NFS and REST under concurrent writers; exits 1 on FAIL)'
+go run ./cmd/pcsi-bench -run E15 > /tmp/e15-a.txt
+go run ./cmd/pcsi-bench -run E15 > /tmp/e15-b.txt
+cmp /tmp/e15-a.txt /tmp/e15-b.txt || { echo 'E15 not byte-identical across runs' >&2; exit 1; }
+grep -q '\[PASS\] faasfs-serializable' /tmp/e15-a.txt || { echo 'E15 serializability check missing' >&2; exit 1; }
+grep -q '\[PASS\] faasfs-beats-rest' /tmp/e15-a.txt || { echo 'E15 faasfs-vs-rest shape check missing' >&2; exit 1; }
+
 echo '== dashboard smoke (telemetry plane; HTML + JSON timeline must be byte-identical across re-runs)'
 go run ./cmd/pcsictl dash e13 -seed 1 -o /tmp/dash-a.html 2>/dev/null
 go run ./cmd/pcsictl dash e13 -seed 1 -o /tmp/dash-b.html 2>/dev/null
