@@ -9,6 +9,16 @@
 // for compatibility). Packages are analyzed in parallel; output order is
 // deterministic regardless.
 //
+// -fix applies the suggested fixes carried by diagnostics (constructor
+// rewrites, sort insertions, //pcsi:allow stubs) and re-analyzes until a
+// pass produces no more fixes, so applying is idempotent: a second -fix
+// run changes nothing. Diagnostics remaining after the last pass are
+// printed as usual.
+//
+// -list prints the analyzer table (name, kind, directive, doc); with
+// -format md it prints the markdown check table README.md embeds, so the
+// docs are generated from the registry.
+//
 // It exits 0 when the tree is clean, 1 when any diagnostic fires, and 2 on
 // usage or load errors. With -format text (the default) diagnostics print
 // as file:line:col: check: message; -format json and -format sarif write a
@@ -22,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -31,9 +42,10 @@ func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	only := flag.String("only", "", "alias for -checks")
 	list := flag.Bool("list", false, "list available analyzers and exit")
-	format := flag.String("format", "text", "output format: text, json, or sarif")
+	fix := flag.Bool("fix", false, "apply suggested fixes, re-analyzing until none remain")
+	format := flag.String("format", "text", "output format: text, json, or sarif (md with -list)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pcsi-vet [-checks names] [-format text|json|sarif] [-list] [package patterns]\n")
+		fmt.Fprintf(os.Stderr, "usage: pcsi-vet [-checks names] [-format text|json|sarif] [-list] [-fix] [package patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,16 +58,20 @@ func main() {
 		*checks = *only
 	}
 
+	if *list {
+		if *format == "md" {
+			fmt.Print(analysis.MarkdownCheckTable(analysis.All()))
+			return
+		}
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %-16s //pcsi:allow %-11s %s\n", a.Name, a.Kind, a.Directive, a.Doc)
+		}
+		return
+	}
+
 	if *format != "text" && *format != "json" && *format != "sarif" {
 		fmt.Fprintf(os.Stderr, "pcsi-vet: unknown -format %q (want text, json, or sarif)\n", *format)
 		os.Exit(2)
-	}
-
-	if *list {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-14s //pcsi:allow %-11s %s\n", a.Name, a.Directive, a.Doc)
-		}
-		return
 	}
 
 	analyzers, err := selectAnalyzers(*checks)
@@ -69,23 +85,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pcsi-vet:", err)
 		os.Exit(2)
 	}
-	loader, err := analysis.NewLoader(root)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pcsi-vet:", err)
-		os.Exit(2)
-	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := loader.Load(patterns...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pcsi-vet:", err)
-		os.Exit(2)
+
+	// runOnce loads the tree fresh (file contents change under -fix) and
+	// runs the selected analyzers.
+	runOnce := func() (*analysis.Loader, []*analysis.Package, []analysis.Diagnostic) {
+		loader, err := analysis.NewLoader(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcsi-vet:", err)
+			os.Exit(2)
+		}
+		pkgs, err := loader.Load(patterns...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcsi-vet:", err)
+			os.Exit(2)
+		}
+		return loader, pkgs, analysis.Run(loader, pkgs, analyzers)
 	}
 
-	diags := analysis.Run(loader, pkgs, analyzers)
+	loader, pkgs, diags := runOnce()
+	if *fix {
+		// Apply and re-analyze until no fixes remain: each pass works on
+		// one consistent snapshot, and the fixpoint makes -fix idempotent.
+		for pass := 0; pass < 5; pass++ {
+			edits := analysis.CollectFixes(diags)
+			if len(edits) == 0 {
+				break
+			}
+			changed, err := analysis.ApplyFixes(edits)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcsi-vet: -fix:", err)
+				os.Exit(2)
+			}
+			for _, f := range sortedKeys(changed) {
+				rel := f
+				if r, err := filepath.Rel(root, f); err == nil && !strings.HasPrefix(r, "..") {
+					rel = r
+				}
+				fmt.Fprintf(os.Stderr, "pcsi-vet: fixed %s\n", rel)
+			}
+			loader, pkgs, diags = runOnce()
+		}
+	}
 	switch *format {
 	case "json":
 		err = analysis.WriteJSON(os.Stdout, root, loader.Module, analyzers, diags)
@@ -108,6 +153,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pcsi-vet: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// sortedKeys returns the keys of m in sorted order.
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // selectAnalyzers resolves -checks names against the registry.

@@ -18,7 +18,8 @@
 //
 // where <check> is one of the analyzer directive names (wallclock,
 // globalrand, layering, rawmutation, maporder, obsrand, errclass,
-// spanleak, hotpath, goroleak, lockorder). A directive suppresses its
+// spanleak, hotpath, goroleak, lockorder, capescape, wrapclass,
+// simblock). A directive suppresses its
 // check on the same line and the
 // following line; a directive in the doc comment of a top-level declaration
 // covers the whole declaration. A directive whose analyzer runs without
@@ -36,11 +37,14 @@ import (
 	"sync"
 )
 
-// Diagnostic is one finding, positioned in the analyzed source.
+// Diagnostic is one finding, positioned in the analyzed source. Fixes, if
+// any, are machine-applicable edits that resolve the finding; pcsi-vet
+// -fix applies them (fix.go).
 type Diagnostic struct {
 	Pos     token.Position
 	Check   string // analyzer name
 	Message string
+	Fixes   []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -55,6 +59,10 @@ type Analyzer struct {
 	Directive string
 	// Doc is a one-line description.
 	Doc string
+	// Kind classifies the machinery behind the check: "syntactic" (shallow
+	// AST walks), "dataflow" (CFG + gen/kill facts within one function), or
+	// "interprocedural" (call graph / taint summaries across the module).
+	Kind string
 	// Prepare, if set, runs once before the per-package passes fan out,
 	// with a pass carrying no package. It builds whole-program indexes
 	// (the call graph, the classifier index) into the shared Cache and may
@@ -72,6 +80,7 @@ func All() []*Analyzer {
 		SimTime, DetRand, Layering, CapDiscipline,
 		MapRange, ObsRand, ErrClass, SpanBalance,
 		HotPath, GoroLeak, LockOrder,
+		CapEscape, WrapClass, SimBlock,
 	}
 }
 
@@ -121,6 +130,12 @@ func relPath(module, path string) string {
 
 // Report records a diagnostic unless a //pcsi:allow directive covers it.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.ReportWithFix(pos, nil, format, args...)
+}
+
+// ReportWithFix records a diagnostic carrying suggested fixes, unless a
+// //pcsi:allow directive covers it.
+func (p *Pass) ReportWithFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	for _, r := range p.allows[p.Analyzer.Directive] {
 		if r.file == position.Filename && position.Line >= r.start && position.Line <= r.end {
@@ -132,6 +147,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 		Pos:     position,
 		Check:   p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
+		Fixes:   fixes,
 	})
 }
 

@@ -330,6 +330,115 @@ func TestGoroLeakExactPositions(t *testing.T) {
 	}
 }
 
+// TestCapEscapeExactPositions pins positions and sink kinds for the
+// capescape fixture: the type rule and flow rule anchor on the declared
+// name, the body rules on the escaping statement, and flow findings name
+// the origin site inside object.New.
+func TestCapEscapeExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "internal/pcsinet/pcsinet.go" {
+			continue
+		}
+		kind := "?"
+		for _, k := range []string{"package-level var", "returns a value of type", "may return a raw", "channel send", "exported field"} {
+			if strings.Contains(d.Message, k) {
+				kind = k
+				break
+			}
+		}
+		if kind == "package-level var" && strings.Contains(d.Message, "assignment stores") {
+			kind = "var assignment"
+		}
+		got = append(got, fmt.Sprintf("%d:%d:%s:%s", d.Pos.Line, d.Pos.Column, d.Check, kind))
+	}
+	want := []string{
+		"11:5:capescape:package-level var",       // Cached's declared type
+		"20:6:capescape:returns a value of type", // Fetch's result type
+		"24:6:capescape:may return a raw",        // Opaque's result flow
+		"28:2:capescape:var assignment",          // current = object.New()
+		"33:2:capescape:channel send",            // events <- object.New()
+		"41:2:capescape:exported field",          // c.Last = object.New()
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("capescape positions:\n got %v\nwant %v", got, want)
+	}
+	for _, d := range diags {
+		if d.Check == "capescape" && strings.Contains(d.Message, "may return a raw") &&
+			!strings.Contains(d.Message, "created at object.go:10") {
+			t.Errorf("flow finding does not name the origin site: %s", d.Message)
+		}
+	}
+}
+
+// TestWrapClassExactPositions pins positions, origin kinds, and resolved
+// op strings for the wrapclass fixture: findings anchor on the error
+// construction site and carry the boundary op, including the op resolved
+// through retry's parameter forwarding.
+func TestWrapClassExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "internal/taskgraph/taskgraph.go" || d.Check != "wrapclass" {
+			continue
+		}
+		op := "?"
+		if i := strings.Index(d.Message, "(op "); i >= 0 {
+			op = strings.Trim(afterPrefix(d.Message[i:], "(op "), `"):`)
+		}
+		origin := "?"
+		for _, k := range []string{"errors.New", "fmt.Errorf", "opError"} {
+			if strings.Contains(d.Message, k) {
+				origin = k
+				break
+			}
+		}
+		got = append(got, fmt.Sprintf("%d:%d:%s:%s", d.Pos.Line, d.Pos.Column, origin, op))
+	}
+	want := []string{
+		"30:10:errors.New:taskgraph.step",  // step's raw errors.New
+		"33:10:fmt.Errorf:taskgraph.step",  // step's %w-less Errorf
+		"35:10:opError:taskgraph.step",     // step's composite literal
+		"53:10:errors.New:taskgraph.flaky", // op resolved through retry's params
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wrapclass positions:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSimBlockExactPositions pins positions, sinks, and chain rendering
+// for the simblock fixture: direct roots report with no chain, helpers
+// name the hops, and the sim-unreachable Offline stays simblock-quiet.
+func TestSimBlockExactPositions(t *testing.T) {
+	l, diags := loadFixture(t)
+	var got []string
+	for _, d := range diags {
+		rel, _ := filepath.Rel(l.Root, d.Pos.Filename)
+		if filepath.ToSlash(rel) != "bad/simblock/simblock.go" || d.Check != "simblock" {
+			continue
+		}
+		sink := afterPrefix(d.Message, "")
+		chain := ""
+		if strings.Contains(d.Message, " via ") {
+			chain = ":via"
+		}
+		got = append(got, fmt.Sprintf("%d:%d:%s%s", d.Pos.Line, d.Pos.Column, sink, chain))
+	}
+	want := []string{
+		"26:2:time.Sleep",              // Tick's direct sleep, root itself
+		"39:2:sync.WaitGroup.Wait:via", // helper, chained from Drive's closure
+		"40:2:receive:via",             // helper's shared-channel receive
+		"46:2:range",                   // Consume's range over shared channel
+		"48:9:os.ReadFile",             // Consume's real file read
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("simblock positions:\n got %v\nwant %v", got, want)
+	}
+}
+
 // TestLockOrderExactPositions pins positions for the lockorder fixture:
 // inversions report at the lexically later second-acquisition site and
 // name both functions; balance leaks report at the acquisition site.

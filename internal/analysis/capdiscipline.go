@@ -34,6 +34,7 @@ var mutationClients = union(statePkgs, baselinePkgs, stringSet("internal/core"))
 // reference carries.
 var CapDiscipline = &Analyzer{
 	Name:      "capdiscipline",
+	Kind:      "syntactic",
 	Directive: "rawmutation",
 	Doc:       "forbid raw object/store mutation outside capability-checked layers",
 	Run:       runCapDiscipline,

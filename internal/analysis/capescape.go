@@ -1,0 +1,330 @@
+package analysis
+
+// capescape upgrades capdiscipline from syntactic to semantic: instead of
+// spotting raw `obj.Data = ...` mutations by shape, it tracks the handle
+// VALUES — internal/object.Object and internal/store.Store — through the
+// taint engine and reports any way one can escape the capability-checked
+// layers into client hands. Origins mint at every composite literal of a
+// handle type (the constructors in object/store); the engine carries them
+// through returns, fields, channels, and globals; sinks live in the
+// client-facing packages (pcsi, internal/core, internal/pcsinet,
+// internal/wire):
+//
+//   - an exported function or method whose result TYPE transitively
+//     carries a handle (pointers, slices, maps, channels, and exported
+//     struct fields are traversed — unexported fields are unreachable
+//     from clients and exempt),
+//   - an exported function or method whose result FLOW carries a handle
+//     origin behind an opaque type (any/error/interface),
+//   - a package-level var of handle-carrying type, or one assigned a
+//     handle-carrying value,
+//   - a channel send or exported-field write of a handle-carrying value.
+//
+// There is no mechanical rewrite for an escaping handle — the fix is an
+// API change — so the only suggested fix is the //pcsi:allow stub.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// capClientPkgs are the client-facing packages whose surface is the
+// escape boundary (DESIGN §3: everything a caller can reach without
+// holding a capability).
+var capClientPkgs = stringSet(
+	".", "pcsi", "internal/core", "internal/pcsinet", "internal/wire",
+)
+
+var CapEscape = &Analyzer{
+	Name:      "capescape",
+	Kind:      "interprocedural",
+	Directive: "capescape",
+	Doc:       "forbid raw object/store handle values from escaping through client-facing APIs",
+	Prepare:   prepareCapEscape,
+	Run:       runCapEscape,
+}
+
+type capFinding struct {
+	pkg   *Package
+	pos   token.Pos
+	msg   string
+	fixes []SuggestedFix
+}
+
+func prepareCapEscape(pass *Pass) {
+	handles := handleTypes(pass)
+	if len(handles) == 0 {
+		pass.Cache["capescape.findings"] = []capFinding(nil)
+		return
+	}
+	st := &capState{handles: handles}
+	eng := buildTaintEngine(pass, &taintSpec{
+		key:         "capescape",
+		exprOrigins: st.exprOrigins,
+	})
+	pass.Cache["capescape.findings"] = collectCapFindings(eng, st)
+}
+
+func runCapEscape(pass *Pass) {
+	findings, _ := pass.Cache["capescape.findings"].([]capFinding)
+	for _, f := range findings {
+		if f.pkg == pass.Pkg {
+			pass.ReportWithFix(f.pos, f.fixes, "%s", f.msg)
+		}
+	}
+}
+
+type capState struct {
+	handles map[*types.Named]bool
+}
+
+// handleTypes resolves the raw handle types of the analyzed module.
+func handleTypes(pass *Pass) map[*types.Named]bool {
+	handles := make(map[*types.Named]bool)
+	for _, spec := range [...]struct{ pkg, name string }{
+		{"internal/object", "Object"},
+		{"internal/store", "Store"},
+	} {
+		p, err := pass.Loader.Import(pass.Module + "/" + spec.pkg)
+		if err != nil || p == nil {
+			continue
+		}
+		if obj, ok := p.Scope().Lookup(spec.name).(*types.TypeName); ok {
+			if named, ok := obj.Type().(*types.Named); ok {
+				handles[named] = true
+			}
+		}
+	}
+	return handles
+}
+
+// exprOrigins mints a handle origin at every composite literal of a
+// handle type — the accessors in object/store construct handles exactly
+// this way, and everything downstream traces back here.
+func (st *capState) exprOrigins(eng *taintEngine, ctx taintCtx, e ast.Expr) []origin {
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok || ctx.pkg.XTest || eng.inTestFile(lit.Pos()) {
+		return nil
+	}
+	tv, ok := ctx.pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	named := namedOf(tv.Type)
+	if named == nil || !st.handles[named] {
+		return nil
+	}
+	return []origin{{pkg: ctx.pkg, pos: lit.Pos(), kind: "handle", what: named.Obj().Name()}}
+}
+
+// namedOf unwraps pointers to the named type underneath, if any.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typeCarriesHandle reports whether a value of type t gives its holder a
+// path to a raw handle: the handle type itself, or any composite shape
+// (pointer, slice, array, map, channel, exported struct field) leading to
+// one. Unexported struct fields are invisible to clients and exempt.
+func (st *capState) typeCarriesHandle(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if st.handles[named] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return st.typeCarriesHandle(u.Elem(), seen)
+	case *types.Slice:
+		return st.typeCarriesHandle(u.Elem(), seen)
+	case *types.Array:
+		return st.typeCarriesHandle(u.Elem(), seen)
+	case *types.Chan:
+		return st.typeCarriesHandle(u.Elem(), seen)
+	case *types.Map:
+		return st.typeCarriesHandle(u.Key(), seen) || st.typeCarriesHandle(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if f := u.Field(i); f.Exported() && st.typeCarriesHandle(f.Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectCapFindings walks the client-facing packages for escape sinks.
+func collectCapFindings(eng *taintEngine, st *capState) []capFinding {
+	var findings []capFinding
+	add := func(pkg *Package, pos token.Pos, format string, args ...any) {
+		findings = append(findings, capFinding{
+			pkg: pkg, pos: pos,
+			msg:   fmt.Sprintf(format, args...),
+			fixes: []SuggestedFix{allowStubFix(eng.fset, pos, "capescape", "TODO: justify this handle escape")},
+		})
+	}
+	for _, pkg := range eng.loader.FullPackages() {
+		if !capClientPkgs[relPath(eng.module, pkg.Path)] || pkg.XTest {
+			continue
+		}
+		st.checkPackageVars(eng, pkg, add)
+	}
+	for _, n := range eng.g.nodes {
+		if !capClientPkgs[relPath(eng.module, n.pkg.Path)] || n.pkg.XTest || eng.inTestFile(n.Pos()) {
+			continue
+		}
+		st.checkAPI(eng, n, add)
+		st.checkBody(eng, n, add)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pkg.Path != findings[j].pkg.Path {
+			return findings[i].pkg.Path < findings[j].pkg.Path
+		}
+		return findings[i].pos < findings[j].pos
+	})
+	return findings
+}
+
+// checkPackageVars flags package-level vars whose type carries a handle.
+// Flow-based escapes into package vars are caught per-assignment in
+// checkBody; the type rule catches the declaration itself.
+func (st *capState) checkPackageVars(eng *taintEngine, pkg *Package, add func(*Package, token.Pos, string, ...any)) {
+	for _, f := range pkg.Files {
+		if eng.inTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if st.typeCarriesHandle(v.Type(), nil) {
+						add(pkg, name.Pos(),
+							"package-level var %s in client-facing package %s holds a raw handle (type %s): handles must stay inside the capability-checked layers",
+							name.Name, relPath(eng.module, pkg.Path), v.Type().String())
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkAPI flags exported functions and methods whose results leak a
+// handle, by type or by flow.
+func (st *capState) checkAPI(eng *taintEngine, n *funcNode, add func(*Package, token.Pos, string, ...any)) {
+	if n.decl == nil || !n.decl.Name.IsExported() {
+		return
+	}
+	sig := nodeSignature(n)
+	if sig == nil {
+		return
+	}
+	if recv := sig.Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named == nil || !named.Obj().Exported() {
+			return // method of an unexported type: not client-reachable
+		}
+	}
+	sum := eng.summaryOf(n)
+	for i := 0; i < sig.Results().Len(); i++ {
+		rt := sig.Results().At(i).Type()
+		if st.typeCarriesHandle(rt, nil) {
+			add(n.pkg, n.decl.Name.Pos(),
+				"exported %s returns a value of type %s, which carries a raw handle out of the capability-checked layers: return a capability-checked wrapper instead",
+				n.name, rt.String())
+			continue
+		}
+		if i < len(sum.results) {
+			for _, o := range sum.results[i].sortedOrigins() {
+				add(n.pkg, n.decl.Name.Pos(),
+					"exported %s may return a raw %s handle (created at %s) behind type %s: handles must not escape the capability-checked layers",
+					n.name, o.what, eng.originSite(o), rt.String())
+				break // one finding per result is enough
+			}
+		}
+	}
+}
+
+// checkBody flags handle-carrying values escaping through package vars,
+// channel sends, and exported-field writes inside client-facing code.
+func (st *capState) checkBody(eng *taintEngine, n *funcNode, add func(*Package, token.Pos, string, ...any)) {
+	info := n.pkg.Info
+	handleOrigin := func(e ast.Expr) (origin, bool) {
+		f := eng.evalPost(n, e)
+		for _, o := range f.sortedOrigins() {
+			return o, true
+		}
+		return origin{}, false
+	}
+	inspectShallowStmts(n.body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) != len(m.Rhs) {
+				return true
+			}
+			for i, lhs := range m.Lhs {
+				switch lhs := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					v, ok := info.Uses[lhs].(*types.Var)
+					if !ok || !isPackageLevel(v) {
+						continue
+					}
+					if o, ok := handleOrigin(m.Rhs[i]); ok {
+						add(n.pkg, m.Pos(),
+							"assignment stores a raw %s handle (created at %s) in package-level var %s of client-facing package %s",
+							o.what, eng.originSite(o), lhs.Name, relPath(eng.module, n.pkg.Path))
+					}
+				case *ast.SelectorExpr:
+					sel, ok := info.Selections[lhs]
+					if !ok || sel.Kind() != types.FieldVal {
+						continue
+					}
+					fv, ok := sel.Obj().(*types.Var)
+					if !ok || !fv.Exported() {
+						continue
+					}
+					// An exported field of an unexported type is still
+					// invisible to clients.
+					if named := namedOf(sel.Recv()); named != nil && !named.Obj().Exported() {
+						continue
+					}
+					if o, ok := handleOrigin(m.Rhs[i]); ok {
+						add(n.pkg, m.Pos(),
+							"assignment stores a raw %s handle (created at %s) in exported field %s, reachable from client-facing APIs",
+							o.what, eng.originSite(o), fv.Name())
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if o, ok := handleOrigin(m.Value); ok {
+				add(n.pkg, m.Pos(),
+					"channel send publishes a raw %s handle (created at %s) from client-facing package %s",
+					o.what, eng.originSite(o), relPath(eng.module, n.pkg.Path))
+			}
+		}
+		return true
+	})
+}

@@ -32,6 +32,7 @@ var globalRandV2Funcs = map[string]bool{
 // or a literal in tests) so that "same seed ⇒ identical output tables".
 var DetRand = &Analyzer{
 	Name:      "detrand",
+	Kind:      "syntactic",
 	Directive: "globalrand",
 	Doc:       "forbid global math/rand draws and unseeded testing/quick configs",
 	Run:       runDetRand,

@@ -21,16 +21,30 @@ type jsonReport struct {
 
 type jsonCheck struct {
 	Name      string `json:"name"`
+	Kind      string `json:"kind"`
 	Directive string `json:"directive"`
 	Doc       string `json:"doc"`
 }
 
 type jsonDiagnostic struct {
+	File    string    `json:"file"`
+	Line    int       `json:"line"`
+	Column  int       `json:"column"`
+	Check   string    `json:"check"`
+	Message string    `json:"message"`
+	Fixes   []jsonFix `json:"fixes,omitempty"`
+}
+
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+type jsonEdit struct {
 	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Column  int    `json:"column"`
-	Check   string `json:"check"`
-	Message string `json:"message"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
 }
 
 // emitPath makes a diagnostic filename root-relative with forward slashes;
@@ -52,20 +66,43 @@ func WriteJSON(w io.Writer, root, module string, analyzers []*Analyzer, diags []
 		Diagnostics: make([]jsonDiagnostic, 0, len(diags)),
 	}
 	for _, a := range analyzers {
-		rep.Checks = append(rep.Checks, jsonCheck{Name: a.Name, Directive: a.Directive, Doc: a.Doc})
+		rep.Checks = append(rep.Checks, jsonCheck{Name: a.Name, Kind: a.Kind, Directive: a.Directive, Doc: a.Doc})
 	}
 	for _, d := range diags {
-		rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+		jd := jsonDiagnostic{
 			File:    emitPath(root, d.Pos.Filename),
 			Line:    d.Pos.Line,
 			Column:  d.Pos.Column,
 			Check:   d.Check,
 			Message: d.Message,
-		})
+		}
+		for _, fix := range d.Fixes {
+			jf := jsonFix{Message: fix.Message}
+			for _, e := range fix.Edits {
+				jf.Edits = append(jf.Edits, jsonEdit{
+					File: emitPath(root, e.File), Start: e.Start, End: e.End, NewText: e.NewText,
+				})
+			}
+			jd.Fixes = append(jd.Fixes, jf)
+		}
+		rep.Diagnostics = append(rep.Diagnostics, jd)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// MarkdownCheckTable renders the analyzer registry as the README's check
+// table, so the docs are generated from All() and cannot drift from it
+// (pcsi-vet -list -format md prints it; a test diffs it against README.md).
+func MarkdownCheckTable(analyzers []*Analyzer) string {
+	var b strings.Builder
+	b.WriteString("| check | kind | suppress with | enforces |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, a := range analyzers {
+		b.WriteString("| `" + a.Name + "` | " + a.Kind + " | `//pcsi:allow " + a.Directive + "` | " + a.Doc + " |\n")
+	}
+	return b.String()
 }
 
 // SARIF 2.1.0 structures — only the subset the format requires.
@@ -104,6 +141,27 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifCharRegion `json:"deletedRegion"`
+	InsertedContent sarifMessage    `json:"insertedContent"`
+}
+
+type sarifCharRegion struct {
+	CharOffset int `json:"charOffset"`
+	CharLength int `json:"charLength"`
 }
 
 type sarifLocation struct {
@@ -145,7 +203,7 @@ func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, diags []Diagnos
 		if line < 1 {
 			line = 1 // typecheck diagnostics may carry a bare directory
 		}
-		results = append(results, sarifResult{
+		res := sarifResult{
 			RuleID:  d.Check,
 			Level:   "error",
 			Message: sarifMessage{Text: d.Message},
@@ -155,7 +213,30 @@ func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, diags []Diagnos
 					Region:           sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
 				},
 			}},
-		})
+		}
+		for _, fix := range d.Fixes {
+			sf := sarifFix{Description: sarifMessage{Text: fix.Message}}
+			// Group edits per file in edit order (edits of one fix rarely
+			// span files, but the import edit may precede the rewrite).
+			byFile := make(map[string]int)
+			for _, e := range fix.Edits {
+				uri := emitPath(root, e.File)
+				i, ok := byFile[uri]
+				if !ok {
+					i = len(sf.ArtifactChanges)
+					byFile[uri] = i
+					sf.ArtifactChanges = append(sf.ArtifactChanges, sarifArtifactChange{
+						ArtifactLocation: sarifArtifactLocation{URI: uri},
+					})
+				}
+				sf.ArtifactChanges[i].Replacements = append(sf.ArtifactChanges[i].Replacements, sarifReplacement{
+					DeletedRegion:   sarifCharRegion{CharOffset: e.Start, CharLength: e.End - e.Start},
+					InsertedContent: sarifMessage{Text: e.NewText},
+				})
+			}
+			res.Fixes = append(res.Fixes, sf)
+		}
+		results = append(results, res)
 	}
 	log := sarifLog{
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",

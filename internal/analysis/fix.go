@@ -1,0 +1,260 @@
+package analysis
+
+// fix.go is the suggested-fix layer: analyzers attach machine-applicable
+// byte-range edits to diagnostics (Diagnostic.Fixes), and ApplyFixes
+// rewrites the source files. cmd/pcsi-vet -fix drives it in a loop —
+// load, analyze, apply, reload — until a pass produces no edits, which
+// makes fixing idempotent by construction: a second -fix run finds
+// nothing to do and leaves every file byte-identical.
+//
+// Edits carry absolute byte offsets into the file as it was loaded, so
+// all edits of one round apply to one snapshot of the tree; they are
+// sorted, deduplicated (two diagnostics may both want the same import
+// added), applied back-to-front, and the result is gofmt-formatted.
+// Because a fix can strip the last use of an import (rewriting
+// errors.New to fault.Transient orphans "errors"), applyToFile prunes
+// newly unused imports of the side-effect-free packages fixes touch.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TextEdit replaces the byte range [Start, End) of File with NewText.
+// Offsets index the file content at analysis time.
+type TextEdit struct {
+	File       string
+	Start, End int
+	NewText    string
+}
+
+// SuggestedFix is one machine-applicable resolution of a diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// editReplace builds a TextEdit covering [pos, end) in pos's file.
+func editReplace(fset *token.FileSet, pos, end token.Pos, text string) TextEdit {
+	p := fset.Position(pos)
+	return TextEdit{File: p.Filename, Start: p.Offset, End: fset.Position(end).Offset, NewText: text}
+}
+
+// importEdit returns an edit adding an import of path to f, or nil when f
+// already imports it. The new import is inserted as its own group so the
+// edit is stable under gofmt's within-group sorting.
+func importEdit(fset *token.FileSet, f *ast.File, path string) *TextEdit {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return nil
+		}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			p := fset.Position(gd.Rparen)
+			return &TextEdit{File: p.Filename, Start: p.Offset, End: p.Offset,
+				NewText: "\n\t" + strconvQuote(path) + "\n"}
+		}
+		p := fset.Position(gd.End())
+		return &TextEdit{File: p.Filename, Start: p.Offset, End: p.Offset,
+			NewText: "\nimport " + strconvQuote(path)}
+	}
+	p := fset.Position(f.Name.End())
+	return &TextEdit{File: p.Filename, Start: p.Offset, End: p.Offset,
+		NewText: "\n\nimport " + strconvQuote(path)}
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }
+
+// allowStubFix builds the last-resort fix: a //pcsi:allow stub on its own
+// line above the offending statement. The stub is inserted at the line
+// start unindented; the gofmt pass after applying re-indents it to the
+// enclosing block.
+func allowStubFix(fset *token.FileSet, pos token.Pos, check, reason string) SuggestedFix {
+	p := fset.Position(pos)
+	lineStart := fset.Position(fset.File(pos).LineStart(p.Line)).Offset
+	return SuggestedFix{
+		Message: fmt.Sprintf("insert a //pcsi:allow %s stub", check),
+		Edits: []TextEdit{{
+			File: p.Filename, Start: lineStart, End: lineStart,
+			NewText: "//pcsi:allow " + check + " " + reason + "\n",
+		}},
+	}
+}
+
+// CollectFixes flattens the first suggested fix of every diagnostic into
+// one edit list. Analyzers order Fixes best-first, so -fix applies the
+// semantic rewrite when one exists and the allow-stub only when it is the
+// sole option.
+func CollectFixes(diags []Diagnostic) []TextEdit {
+	var edits []TextEdit
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			edits = append(edits, d.Fixes[0].Edits...)
+		}
+	}
+	return edits
+}
+
+// ApplyFixes applies edits to the files on disk and returns the new
+// content per changed file (already written). Identical duplicate edits
+// collapse; of two overlapping edits the positionally first wins, so the
+// outcome never depends on diagnostic order.
+func ApplyFixes(edits []TextEdit) (map[string][]byte, error) {
+	byFile := make(map[string][]TextEdit)
+	for _, e := range edits {
+		byFile[e.File] = append(byFile[e.File], e)
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	out := make(map[string][]byte)
+	for _, file := range files {
+		content, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := applyToFile(content, byFile[file])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", file, err)
+		}
+		if err := os.WriteFile(file, fixed, 0o644); err != nil {
+			return nil, err
+		}
+		out[file] = fixed
+	}
+	return out, nil
+}
+
+// applyToFile applies one file's edits to content, prunes imports the
+// edits orphaned, and formats the result.
+func applyToFile(content []byte, edits []TextEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		if edits[i].End != edits[j].End {
+			return edits[i].End < edits[j].End
+		}
+		return edits[i].NewText < edits[j].NewText
+	})
+	kept := edits[:0]
+	lastEnd := -1
+	for _, e := range edits {
+		if len(kept) > 0 {
+			prev := kept[len(kept)-1]
+			if e == prev {
+				continue // duplicate (e.g. the same import edit from two diagnostics)
+			}
+			if e.Start < lastEnd || (e.Start == prev.Start && e.End == prev.End) {
+				continue // overlap: first edit wins
+			}
+		}
+		if e.Start < 0 || e.End > len(content) || e.Start > e.End {
+			return nil, fmt.Errorf("edit range [%d,%d) out of bounds", e.Start, e.End)
+		}
+		kept = append(kept, e)
+		if e.End > lastEnd {
+			lastEnd = e.End
+		}
+	}
+	for i := len(kept) - 1; i >= 0; i-- {
+		e := kept[i]
+		content = append(content[:e.Start], append([]byte(e.NewText), content[e.End:]...)...)
+	}
+	content, err := pruneUnusedImports(content)
+	if err != nil {
+		return nil, err
+	}
+	return format.Source(content)
+}
+
+// prunablePkgs are the side-effect-free stdlib imports a fix rewrite can
+// orphan (errors.New → fault.Transient, fmt.Errorf → fault.Transientf).
+var prunablePkgs = map[string]bool{"errors": true, "fmt": true}
+
+// pruneUnusedImports drops prunable imports no selector in the edited file
+// references any more. It works by line surgery so it composes with the
+// raw edit output before formatting.
+func pruneUnusedImports(content []byte) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", content, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	used := make(map[string]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				used[id.Name] = true
+			}
+		}
+		return true
+	})
+	type span struct{ start, end int } // byte range incl. trailing newline
+	var cuts []span
+	lineSpan := func(from, to token.Pos) span {
+		start := fset.Position(from)
+		end := fset.Position(to)
+		s := start.Offset - (start.Column - 1)
+		e := end.Offset
+		for e < len(content) && content[e] != '\n' {
+			e++
+		}
+		if e < len(content) {
+			e++
+		}
+		return span{s, e}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		var dead []*ast.ImportSpec
+		for _, spec := range gd.Specs {
+			imp := spec.(*ast.ImportSpec)
+			path := strings.Trim(imp.Path.Value, `"`)
+			name := path[strings.LastIndexByte(path, '/')+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if prunablePkgs[path] && !used[name] {
+				dead = append(dead, imp)
+			}
+		}
+		if len(dead) == len(gd.Specs) {
+			cuts = append(cuts, lineSpan(gd.Pos(), gd.End()))
+			continue
+		}
+		for _, imp := range dead {
+			cuts = append(cuts, lineSpan(imp.Pos(), imp.End()))
+		}
+	}
+	for i := len(cuts) - 1; i >= 0; i-- {
+		content = append(content[:cuts[i].start], content[cuts[i].end:]...)
+	}
+	return content, nil
+}
+
+// fileContaining returns the package file whose range covers pos.
+func fileContaining(pkg *Package, fset *token.FileSet, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

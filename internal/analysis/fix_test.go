@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyFixTree copies the testdata/fix module (go.mod and .go sources,
+// not the .golden files) into dst so fixes can be applied on disk.
+func copyFixTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		if !strings.HasSuffix(path, ".go") && filepath.Base(path) != "go.mod" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runFixPass loads the module at root fresh, runs every analyzer, and
+// applies the collected fixes — one pass of the pcsi-vet -fix loop.
+// It returns the diagnostics of the pass and the files it changed.
+func runFixPass(t *testing.T, root string) ([]Diagnostic, map[string][]byte) {
+	t.Helper()
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader(%s): %v", root, err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags := Run(l, pkgs, All())
+	edits := CollectFixes(diags)
+	if len(edits) == 0 {
+		return diags, nil
+	}
+	changed, err := ApplyFixes(edits)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	return diags, changed
+}
+
+// TestFixGoldens drives the full -fix loop over a copy of the testdata/fix
+// module and pins the results: every source converges to its .go.golden
+// sibling (or stays byte-identical when it has none), the loop reaches a
+// fixpoint (a second application changes nothing), and the fixed module
+// re-vets completely clean — no diagnostics, no type errors — so the
+// fixed code is known to compile.
+func TestFixGoldens(t *testing.T) {
+	src := filepath.Join("testdata", "fix")
+	root := t.TempDir()
+	copyFixTree(t, src, root)
+
+	var fixedAnything bool
+	for pass := 0; pass < 5; pass++ {
+		_, changed := runFixPass(t, root)
+		if len(changed) == 0 {
+			break
+		}
+		fixedAnything = true
+	}
+	if !fixedAnything {
+		t.Fatal("fix module produced no fixes at all")
+	}
+
+	// Idempotency: after convergence another pass must be a no-op, with a
+	// completely clean re-vet (which also proves the fixes type-check).
+	diags, changed := runFixPass(t, root)
+	if len(changed) != 0 {
+		t.Errorf("second -fix application changed files: %v", changed)
+	}
+	for _, d := range diags {
+		t.Errorf("fixed module still reports %s:%d: %s: %s",
+			d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+	}
+
+	// Golden comparison for every source file.
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		want, err := os.ReadFile(path + ".golden")
+		if os.IsNotExist(err) {
+			want, err = os.ReadFile(path) // no golden: the file must not change
+		}
+		if err != nil {
+			return err
+		}
+		got, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s after -fix does not match golden:\n--- got ---\n%s\n--- want ---\n%s", rel, got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFixSingleCheckScoped asserts a -checks-restricted run only applies
+// that analyzer's fixes: with only maprange selected, the collector file
+// gains its sort while the unclassified qos sentinel stays untouched.
+func TestFixSingleCheckScoped(t *testing.T) {
+	src := filepath.Join("testdata", "fix")
+	root := t.TempDir()
+	copyFixTree(t, src, root)
+
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(l, pkgs, []*Analyzer{MapRange})
+	changed, err := ApplyFixes(CollectFixes(diags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("maprange-only fix changed %d files, want 1: %v", len(changed), changed)
+	}
+	qos, err := os.ReadFile(filepath.Join(root, "internal", "qos", "qos.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(qos, []byte("errors.New")) {
+		t.Error("maprange-only fix rewrote the qos sentinel")
+	}
+	collector, err := os.ReadFile(filepath.Join(root, "collector", "collector.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(collector, []byte("sort.Strings(out)")) {
+		t.Error("maprange fix did not insert the sort")
+	}
+}

@@ -40,6 +40,7 @@ import (
 // channel send/receive with no reachable send/close/cancel path.
 var GoroLeak = &Analyzer{
 	Name:      "goroleak",
+	Kind:      "interprocedural",
 	Directive: "goroleak",
 	Doc:       "flag go statements whose goroutine blocks forever on a channel nobody can satisfy",
 	Prepare:   prepareCallGraph,

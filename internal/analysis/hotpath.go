@@ -23,6 +23,7 @@ import (
 // on non-error paths.
 var HotPath = &Analyzer{
 	Name:      "hotpath",
+	Kind:      "interprocedural",
 	Directive: "hotpath",
 	Doc:       "forbid per-event allocation hazards in functions reachable from //pcsi:hotpath roots",
 	Prepare:   prepareCallGraph,

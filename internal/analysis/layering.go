@@ -132,6 +132,7 @@ func union(sets ...map[string]bool) map[string]bool {
 // and only the stdlib is ever imported from outside the module.
 var Layering = &Analyzer{
 	Name:      "layering",
+	Kind:      "syntactic",
 	Directive: "layering",
 	Doc:       "enforce the substrate→state→compute→core import layering and the stdlib-only rule",
 	Run:       runLayering,

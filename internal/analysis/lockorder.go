@@ -37,6 +37,7 @@ import (
 // paths and locks not released on every path out of their function.
 var LockOrder = &Analyzer{
 	Name:      "lockorder",
+	Kind:      "interprocedural",
 	Directive: "lockorder",
 	Doc:       "enforce a consistent mutex acquisition order and release on all paths",
 	Prepare:   prepareLockOrder,

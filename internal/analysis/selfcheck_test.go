@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -37,16 +39,17 @@ func TestRepoInvariants(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the analyzer roster: all eleven checks
-// present, with unique names, unique suppression keywords, docs, and Run
-// hooks — so a registry edit cannot silently drop a check from pcsi-vet,
-// the CI gate, and TestRepoInvariants at once.
+// TestAnalyzerRegistry pins the analyzer roster: all fourteen checks
+// present, with unique names, unique suppression keywords, kinds, docs,
+// and Run hooks — so a registry edit cannot silently drop a check from
+// pcsi-vet, the CI gate, and TestRepoInvariants at once.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
 	wantNames := []string{
 		"simtime", "detrand", "layering", "capdiscipline",
 		"maprange", "obsrand", "errclass", "spanbalance",
 		"hotpath", "goroleak", "lockorder",
+		"capescape", "wrapclass", "simblock",
 	}
 	if len(all) != len(wantNames) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(wantNames))
@@ -65,5 +68,33 @@ func TestAnalyzerRegistry(t *testing.T) {
 		if a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %s missing Doc or Run", a.Name)
 		}
+		switch a.Kind {
+		case "syntactic", "dataflow", "interprocedural":
+		default:
+			t.Errorf("analyzer %s has unknown Kind %q", a.Name, a.Kind)
+		}
+	}
+}
+
+// TestReadmeCheckTable asserts README.md embeds exactly the check table
+// MarkdownCheckTable generates from the registry (the segment between the
+// BEGIN/END CHECK TABLE markers), so the documentation cannot drift from
+// All(). Regenerate with: go run ./cmd/pcsi-vet -list -format md
+func TestReadmeCheckTable(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	const begin, end = "<!-- BEGIN CHECK TABLE -->\n", "<!-- END CHECK TABLE -->"
+	s := string(data)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the CHECK TABLE markers")
+	}
+	got := s[i+len(begin) : j]
+	want := MarkdownCheckTable(All())
+	if got != want {
+		t.Errorf("README check table drifted from the registry; regenerate with `go run ./cmd/pcsi-vet -list -format md`:\n--- README ---\n%s\n--- registry ---\n%s", got, want)
 	}
 }

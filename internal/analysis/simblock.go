@@ -1,0 +1,290 @@
+package analysis
+
+// simblock is the determinism gate for code that runs INSIDE the
+// simulation: no call path from a sim-process root may reach a real-time
+// blocking primitive. A root is any function that receives a *sim.Proc
+// (the virtual-time context every simulated process runs under) or is
+// passed as a closure to sim.Env.Go/At/After; from those roots simblock
+// walks the call graph and flags, in any reachable function outside
+// internal/sim itself:
+//
+//   - wall-clock blocking: time.Sleep/After/Tick/NewTimer/NewTicker/
+//     AfterFunc (simtime flags these syntactically per package; simblock
+//     catches the interprocedural case where an annotated-legitimate
+//     helper is reached FROM sim code),
+//   - real synchronization: sync.WaitGroup.Wait and sync.Cond.Wait,
+//     which park the OS goroutine instead of yielding virtual time,
+//   - os/net I/O (file reads, dials, listens),
+//   - bare channel operations on SHARED channels — package-level vars or
+//     struct fields, where another goroutine must run to unblock; locally
+//     created channels are exempt (the common pattern of a closure
+//     coordinating with its own spawner through a captured local).
+//
+// The message spells out the call chain from the root so the finding is
+// actionable even when the sink is three helpers deep. The only
+// mechanical fix is the //pcsi:allow stub for measured-baseline code.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var SimBlock = &Analyzer{
+	Name:      "simblock",
+	Kind:      "interprocedural",
+	Directive: "simblock",
+	Doc:       "forbid call paths from sim-process roots to real-time blocking primitives",
+	Prepare:   prepareSimBlock,
+	Run:       runSimBlock,
+}
+
+type simFinding struct {
+	pkg   *Package
+	pos   token.Pos
+	msg   string
+	fixes []SuggestedFix
+}
+
+func prepareSimBlock(pass *Pass) {
+	g := buildCallGraph(pass)
+	pass.Cache["simblock.findings"] = collectSimBlockFindings(pass, g)
+}
+
+func runSimBlock(pass *Pass) {
+	findings, _ := pass.Cache["simblock.findings"].([]simFinding)
+	for _, f := range findings {
+		if f.pkg == pass.Pkg {
+			pass.ReportWithFix(f.pos, f.fixes, "%s", f.msg)
+		}
+	}
+}
+
+// timeBlocking are the time package functions that block on or schedule
+// real time.
+var timeBlocking = stringSet("Sleep", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc")
+
+// osBlocking are the os package entry points that perform real I/O.
+var osBlocking = stringSet(
+	"Open", "OpenFile", "Create", "ReadFile", "WriteFile", "Remove",
+	"RemoveAll", "Mkdir", "MkdirAll", "ReadDir", "Stat",
+)
+
+// netBlocking are the net package dial/listen entry points.
+var netBlocking = stringSet("Dial", "DialTimeout", "Listen", "ListenPacket")
+
+// collectSimBlockFindings computes the sim-reachable node set and scans it
+// for blocking sinks.
+func collectSimBlockFindings(pass *Pass, g *callGraph) []simFinding {
+	simPkg := pass.Module + "/internal/sim"
+	roots := simProcessRoots(pass, g, simPkg)
+	if len(roots) == 0 {
+		return nil
+	}
+	// BFS from the roots, keeping the first (deterministic) parent of each
+	// node so findings can show a concrete chain.
+	parent := make(map[*funcNode]*funcNode)
+	rootOf := make(map[*funcNode]*funcNode)
+	queue := make([]*funcNode, 0, len(roots))
+	for _, r := range roots {
+		if rootOf[r] == nil {
+			rootOf[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.edges {
+			m := e.callee
+			if rootOf[m] != nil {
+				continue
+			}
+			if m.pkg.Path == simPkg {
+				continue // the engine itself implements virtual time
+			}
+			rootOf[m] = rootOf[n]
+			parent[m] = n
+			queue = append(queue, m)
+		}
+	}
+	var findings []simFinding
+	for _, n := range g.nodes {
+		if rootOf[n] == nil || n.pkg.Path == simPkg {
+			continue
+		}
+		chain := simChain(n, parent, rootOf[n])
+		scanBlockingSinks(pass, n, func(pos token.Pos, what string) {
+			findings = append(findings, simFinding{
+				pkg: n.pkg, pos: pos,
+				msg: fmt.Sprintf("%s blocks real time inside the simulation: reachable from sim-process root %s%s; use the *sim.Proc virtual-time API instead",
+					what, rootOf[n].name, chain),
+				fixes: []SuggestedFix{allowStubFix(pass.Fset, pos, "simblock", "TODO: justify real-time blocking in sim context")},
+			})
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pkg.Path != findings[j].pkg.Path {
+			return findings[i].pkg.Path < findings[j].pkg.Path
+		}
+		return findings[i].pos < findings[j].pos
+	})
+	return findings
+}
+
+// simChain renders the call chain root → ... → n, capped at four hops.
+func simChain(n *funcNode, parent map[*funcNode]*funcNode, root *funcNode) string {
+	var hops []string
+	for m := n; m != nil && m != root; m = parent[m] {
+		hops = append(hops, m.name)
+		if len(hops) == 4 {
+			hops = append(hops, "...")
+			break
+		}
+	}
+	if len(hops) == 0 {
+		return ""
+	}
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return " via " + strings.Join(hops, " → ")
+}
+
+// simProcessRoots collects the functions that run under virtual time:
+// anything taking a *sim.Proc, and every function value handed to
+// sim.Env.Go/At/After.
+func simProcessRoots(pass *Pass, g *callGraph, simPkg string) []*funcNode {
+	var roots []*funcNode
+	for _, n := range g.nodes {
+		if sig := nodeSignature(n); sig != nil && hasProcParam(sig, simPkg) {
+			roots = append(roots, n)
+		}
+	}
+	for _, n := range g.nodes {
+		n := n
+		ast.Inspect(n.body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(n.pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != simPkg {
+				return true
+			}
+			named := receiverNamed(fn)
+			if named == nil || named.Obj().Name() != "Env" {
+				return true
+			}
+			switch fn.Name() {
+			case "Go", "At", "After", "Spawn":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if tv, ok := n.pkg.Info.Types[arg]; ok && tv.Type != nil {
+					if _, isFunc := tv.Type.Underlying().(*types.Signature); isFunc {
+						roots = append(roots, resolveFuncExpr(g, n, arg)...)
+					}
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	return roots
+}
+
+// hasProcParam reports whether the signature takes a *sim.Proc.
+func hasProcParam(sig *types.Signature, simPkg string) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		ptr, ok := sig.Params().At(i).Type().Underlying().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if ok && named.Obj().Name() == "Proc" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == simPkg {
+			return true
+		}
+	}
+	return false
+}
+
+// scanBlockingSinks walks one function body for real-time blocking
+// operations and invokes report for each.
+func scanBlockingSinks(pass *Pass, n *funcNode, report func(token.Pos, string)) {
+	info := n.pkg.Info
+	inspectShallowStmts(n.body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, m)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if receiverNamed(fn) == nil && timeBlocking[fn.Name()] {
+					report(m.Pos(), "time."+fn.Name())
+				}
+			case "os":
+				if receiverNamed(fn) == nil && osBlocking[fn.Name()] {
+					report(m.Pos(), "os."+fn.Name())
+				}
+			case "net":
+				if receiverNamed(fn) == nil && netBlocking[fn.Name()] {
+					report(m.Pos(), "net."+fn.Name())
+				}
+			case "sync":
+				if named := receiverNamed(fn); named != nil && fn.Name() == "Wait" {
+					switch named.Obj().Name() {
+					case "WaitGroup", "Cond":
+						report(m.Pos(), "sync."+named.Obj().Name()+".Wait")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if sharedChan(info, m.Chan) {
+				report(m.Pos(), "send on shared channel")
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && sharedChan(info, m.X) {
+				report(m.Pos(), "receive on shared channel")
+			}
+		case *ast.RangeStmt:
+			if _, isChan := typeOf(info, m.X).(*types.Chan); isChan && sharedChan(info, m.X) {
+				report(m.Pos(), "range over shared channel")
+			}
+		}
+		return true
+	})
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return nil
+}
+
+// sharedChan reports whether a channel expression denotes a channel other
+// goroutines share structurally: a package-level var or a struct field.
+// Locally created channels (including captured locals) coordinate only
+// with their creator and are exempt.
+func sharedChan(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		return ok && isPackageLevel(v)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		return ok && isPackageLevel(v)
+	}
+	return false
+}

@@ -27,6 +27,7 @@ var wallClockFuncs = map[string]bool{
 // //pcsi:allow wallclock.
 var SimTime = &Analyzer{
 	Name:      "simtime",
+	Kind:      "syntactic",
 	Directive: "wallclock",
 	Doc:       "forbid wall-clock time.Now/Sleep/... outside annotated real-measurement code",
 	Run:       runSimTime,

@@ -21,6 +21,7 @@ import (
 // A Close inside any function literal (deferred or not) counts as closing.
 var SpanBalance = &Analyzer{
 	Name:      "spanbalance",
+	Kind:      "dataflow",
 	Directive: "spanleak",
 	Doc:       "require every trace span Start to be Closed on all return and panic paths",
 	Run:       runSpanBalance,

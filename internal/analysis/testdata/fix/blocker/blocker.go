@@ -1,0 +1,17 @@
+// Package blocker parks the OS goroutine from a sim-process root; the
+// simblock fix annotates the blocking site.
+package blocker
+
+import (
+	"sync"
+
+	"fix/internal/sim"
+)
+
+// wg is real synchronization.
+var wg sync.WaitGroup
+
+// Wait blocks real time from a sim root.
+func Wait(p *sim.Proc) {
+	wg.Wait()
+}

@@ -1,0 +1,12 @@
+// Package collector returns map keys in randomized order; the maprange
+// fix inserts the sort before the return.
+package collector
+
+// Keys returns the map's keys.
+func Keys(m map[string]int) []string {
+	out := []string{}
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

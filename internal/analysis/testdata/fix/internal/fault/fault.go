@@ -1,0 +1,47 @@
+// Package fault is a minimal classification stub for the fix fixtures.
+package fault
+
+import (
+	"fmt"
+
+	"fix/internal/sim"
+)
+
+// Classified is implemented by errors carrying their own classification.
+type Classified interface {
+	Retryable() bool
+}
+
+type classed struct {
+	msg   string
+	retry bool
+}
+
+func (e classed) Error() string   { return e.msg }
+func (e classed) Retryable() bool { return e.retry }
+
+// Fatal returns a non-retryable sentinel.
+func Fatal(msg string) error { return classed{msg: msg} }
+
+// Transient returns a retryable sentinel.
+func Transient(msg string) error { return classed{msg: msg, retry: true} }
+
+// Fatalf returns a formatted non-retryable sentinel.
+func Fatalf(format string, args ...any) error {
+	return classed{msg: fmt.Sprintf(format, args...)}
+}
+
+// Transientf returns a formatted retryable sentinel.
+func Transientf(format string, args ...any) error {
+	return classed{msg: fmt.Sprintf(format, args...), retry: true}
+}
+
+// Policy is the retry-boundary stub.
+type Policy struct{}
+
+// Do runs fn once.
+func (p *Policy) Do(proc *sim.Proc, op string, fn func() error) error {
+	_ = proc
+	_ = op
+	return fn()
+}

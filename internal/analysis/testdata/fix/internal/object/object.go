@@ -1,0 +1,10 @@
+// Package object is a minimal handle stub for the fix fixtures.
+package object
+
+// Object is the raw handle type capescape guards.
+type Object struct {
+	data []byte
+}
+
+// New returns an empty object.
+func New() *Object { return &Object{} }

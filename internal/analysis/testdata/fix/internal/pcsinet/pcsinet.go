@@ -1,0 +1,8 @@
+// Package pcsinet leaks a handle through its API; the capescape fix can
+// only annotate the escape for later justification.
+package pcsinet
+
+import "fix/internal/object"
+
+// Fetch returns the raw handle type.
+func Fetch() *object.Object { return object.New() }

@@ -1,0 +1,8 @@
+// Package qos declares an unclassified sentinel; the errclass fix
+// rewrites its constructor and swaps the import.
+package qos
+
+import "errors"
+
+// ErrBusy reports admission rejection.
+var ErrBusy = errors.New("qos: busy")

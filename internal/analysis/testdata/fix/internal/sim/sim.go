@@ -1,0 +1,11 @@
+// Package sim is a minimal virtual-time stub for the fix fixtures.
+package sim
+
+// Env is a stub virtual-time environment.
+type Env struct{}
+
+// Proc is a stub simulated process.
+type Proc struct{}
+
+// Go launches fn synchronously.
+func (e *Env) Go(name string, fn func(*Proc)) { fn(&Proc{}) }

@@ -1,0 +1,24 @@
+// Package taskgraph returns unclassified errors into a retry boundary;
+// the wrapclass fixes rewrite both constructors and prune the imports.
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"fix/internal/fault"
+	"fix/internal/sim"
+)
+
+// Run retries one step under the policy.
+func Run(p *fault.Policy, proc *sim.Proc) error {
+	return p.Do(proc, "taskgraph.step", func() error {
+		if cond() {
+			return errors.New("taskgraph: raw")
+		}
+		return fmt.Errorf("taskgraph: code %d", 7)
+	})
+}
+
+// cond keeps both branches alive.
+func cond() bool { return false }

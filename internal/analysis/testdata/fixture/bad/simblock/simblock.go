@@ -1,0 +1,66 @@
+// Package simblock blocks real time inside the simulation: its sim-process
+// roots (functions taking *sim.Proc, and closures handed to sim.Env.Go)
+// reach wall-clock sleeps, real synchronization, OS I/O, and shared-channel
+// operations. Offline and the local-channel/virtual-time functions pin the
+// exemptions: simtime still fires syntactically where the time package is
+// touched, but simblock only fires on sim-reachable paths.
+package simblock
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"fixture/internal/sim"
+)
+
+// done is a package-level channel: blocking on it parks the OS goroutine
+// until some other real goroutine runs.
+var done = make(chan struct{})
+
+// wg is real synchronization, invisible to virtual time.
+var wg sync.WaitGroup
+
+// Tick is a sim-process root that blocks wall-clock directly.
+func Tick(p *sim.Proc) {
+	time.Sleep(time.Millisecond) // want: simblock simtime
+}
+
+// Drive spawns a process under virtual time; the closure and everything
+// it calls become sim-reachable.
+func Drive(env *sim.Env) {
+	env.Go("worker", func(p *sim.Proc) {
+		helper()
+	})
+}
+
+// helper is two hops from the root: the findings name the chain.
+func helper() {
+	wg.Wait() // want: simblock
+	<-done    // want: simblock
+}
+
+// Consume ranges over the shared channel and does real file I/O from a
+// sim root.
+func Consume(p *sim.Proc) {
+	for range done { // want: simblock
+	}
+	_, _ = os.ReadFile("x") // want: simblock
+}
+
+// Local coordinates through a locally created channel: exempt, the
+// spawner owns both ends.
+func Local(p *sim.Proc) {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+}
+
+// Virtual sleeps in virtual time: the sanctioned API.
+func Virtual(p *sim.Proc) { p.Sleep(5) }
+
+// Offline is reachable from no sim root: simtime still flags the sleep
+// syntactically, but simblock stays quiet.
+func Offline() {
+	time.Sleep(time.Millisecond) // want: simtime
+}

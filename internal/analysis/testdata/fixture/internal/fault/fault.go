@@ -4,6 +4,8 @@
 package fault
 
 import (
+	"fmt"
+
 	"fixture/internal/metrics" // want: layering
 	"fixture/internal/sim"
 )
@@ -44,4 +46,25 @@ func Retryable(err error) bool {
 		return c.Retryable()
 	}
 	return false
+}
+
+// Fatalf returns a formatted non-retryable sentinel.
+func Fatalf(format string, args ...any) error {
+	return classed{msg: fmt.Sprintf(format, args...)}
+}
+
+// Transientf returns a formatted retryable sentinel.
+func Transientf(format string, args ...any) error {
+	return classed{msg: fmt.Sprintf(format, args...), retry: true}
+}
+
+// Policy is the retry-boundary stub: wrapclass resolves the function
+// values handed to Do and audits their error results.
+type Policy struct{}
+
+// Do runs fn under the (stub) retry loop.
+func (p *Policy) Do(proc *sim.Proc, op string, fn func() error) error {
+	_ = proc
+	_ = op
+	return fn()
 }

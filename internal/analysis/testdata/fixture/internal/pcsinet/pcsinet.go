@@ -1,0 +1,53 @@
+// Package pcsinet violates the capability escape discipline: it is a
+// client-facing package, yet raw object handles leak out of it through
+// every sink the capescape analyzer knows — return types, opaque return
+// flows, package vars, channel sends, and exported fields. The clean
+// declarations at the bottom pin the exemptions.
+package pcsinet
+
+import "fixture/internal/object"
+
+// Cached's type carries a raw handle: flagged at the declaration.
+var Cached *object.Object // want: capescape
+
+// current is opaque (any); only the assignment in SetCurrent escapes.
+var current any
+
+// events is an opaque channel; only the send in Publish escapes.
+var events = make(chan any, 1)
+
+// Fetch returns the raw handle type: the type rule flags the decl.
+func Fetch() *object.Object { return object.New() } // want: capescape
+
+// Opaque hides the handle behind any: the flow rule traces it back to
+// the composite literal inside object.New.
+func Opaque() any { return object.New() } // want: capescape
+
+// SetCurrent stores a handle in a package-level var.
+func SetCurrent() {
+	current = object.New() // want: capescape
+}
+
+// Publish sends a handle over a package-level channel.
+func Publish() {
+	events <- object.New() // want: capescape
+}
+
+// Conn is an exported record with an opaque exported field.
+type Conn struct{ Last any }
+
+// Stash stores a handle in an exported field of an exported type.
+func (c *Conn) Stash() {
+	c.Last = object.New() // want: capescape
+}
+
+// fetch is unexported: invisible to clients, no diagnostic.
+func fetch() *object.Object { return object.New() }
+
+// Wrapped hides its handle behind an unexported field, which clients
+// cannot reach: the type carries no handle.
+type Wrapped struct{ o *object.Object }
+
+// Wrap is clean: the handle binds to an unexported field, so neither the
+// type rule nor the flow rule fires.
+func Wrap() Wrapped { return Wrapped{o: fetch()} }

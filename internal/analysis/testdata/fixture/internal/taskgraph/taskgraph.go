@@ -1,0 +1,82 @@
+// Package taskgraph exercises the wrapclass analyzer: it is a
+// retry-boundary package whose fault.Policy.Do closures return errors,
+// and every unclassified origin that can flow into one is flagged at the
+// construction site. The classified paths at the bottom must stay quiet.
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"fixture/internal/fault"
+	"fixture/internal/sim"
+)
+
+// ErrStuck is classified by construction: reads of it stay clean.
+var ErrStuck = fault.Transient("taskgraph: stuck")
+
+// Run drives one step under the retry policy; wrapclass resolves the
+// closure and audits the origins its error result can carry.
+func Run(p *fault.Policy, proc *sim.Proc) error {
+	return p.Do(proc, "taskgraph.step", func() error {
+		return step()
+	})
+}
+
+// step returns unclassified errors three ways; each origin is flagged
+// where the error is born, not at the boundary.
+func step() error {
+	if cond(1) {
+		return errors.New("taskgraph: raw") // want: wrapclass
+	}
+	if cond(2) {
+		return fmt.Errorf("taskgraph: code %d", 7) // want: wrapclass
+	}
+	return &opError{code: 9} // want: wrapclass
+}
+
+// opError implements error with no classification: errclass flags the
+// declaration, wrapclass flags the literal escaping into the boundary.
+type opError struct{ code int } // want: errclass
+
+func (e *opError) Error() string { return "taskgraph: op" }
+
+// retry forwards op and fn through its parameters; the boundary resolves
+// one caller frame up.
+func retry(p *fault.Policy, proc *sim.Proc, op string, fn func() error) error {
+	return p.Do(proc, op, fn)
+}
+
+// Flaky reaches the boundary through retry's parameter forwarding.
+func Flaky(p *fault.Policy, proc *sim.Proc) error {
+	return retry(p, proc, "taskgraph.flaky", func() error {
+		return errors.New("taskgraph: flaky") // want: wrapclass
+	})
+}
+
+// RunSafe wraps the classified sentinel with %w: the chain preserves the
+// classification, so no diagnostic.
+func RunSafe(p *fault.Policy, proc *sim.Proc) error {
+	return p.Do(proc, "taskgraph.safe", func() error {
+		return fmt.Errorf("taskgraph: wrapped: %w", ErrStuck)
+	})
+}
+
+// shed classifies itself through fault.Classified.
+type shed struct{ n int }
+
+func (s *shed) Error() string   { return "taskgraph: shed" }
+func (s *shed) Retryable() bool { return false }
+
+// newShed's static result type implements Classified: calls launder.
+func newShed() *shed { return &shed{n: 1} }
+
+// RunShed returns only classified values: clean.
+func RunShed(p *fault.Policy, proc *sim.Proc) error {
+	return p.Do(proc, "taskgraph.shed", func() error {
+		return newShed()
+	})
+}
+
+// cond keeps the branches above alive without constant folding.
+func cond(n int) bool { return n > 1 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/object"
 )
 
@@ -65,11 +66,11 @@ func (r Rights) String() string {
 
 // Errors returned by capability checks.
 var (
-	ErrDenied  = errors.New("capability: required right not held")
-	ErrRevoked = errors.New("capability: reference revoked")
-	ErrAmplify = errors.New("capability: attenuation cannot add rights")
-	ErrNoGrant = errors.New("capability: grant right required")
-	ErrUnknown = errors.New("capability: unknown reference")
+	ErrDenied  = fault.Fatal("capability: required right not held")
+	ErrRevoked = fault.Fatal("capability: reference revoked")
+	ErrAmplify = fault.Fatal("capability: attenuation cannot add rights")
+	ErrNoGrant = fault.Fatal("capability: grant right required")
+	ErrUnknown = fault.Fatal("capability: unknown reference")
 )
 
 // RefID identifies a reference within a Space.

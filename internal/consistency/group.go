@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/media"
 	"repro/internal/object"
 	"repro/internal/sim"
@@ -16,8 +17,8 @@ import (
 
 // Errors returned by replicated operations.
 var (
-	ErrNoReplicas  = errors.New("consistency: group has no replicas")
-	ErrNotFound    = errors.New("consistency: object not found")
+	ErrNoReplicas  = fault.Fatal("consistency: group has no replicas")
+	ErrNotFound    = fault.Fatal("consistency: object not found")
 	ErrUnavailable = errors.New("consistency: operation unavailable (insufficient live replicas)")
 )
 
@@ -234,7 +235,7 @@ func (g *Group) Apply(p *sim.Proc, client simnet.NodeID, id object.ID, lvl Level
 	case Eventual:
 		return g.applyEventual(p, client, id, size, mutate)
 	default:
-		return fmt.Errorf("consistency: unknown level %v", lvl)
+		return fault.Fatalf("consistency: unknown level %v", lvl)
 	}
 }
 

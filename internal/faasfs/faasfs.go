@@ -258,7 +258,7 @@ func (fs *FS) replay(p *sim.Proc, cl *core.Client) error {
 func (fs *FS) install(p *sim.Proc, cl *core.Client, op redoOp) error {
 	r, ok := fs.ref(op.id)
 	if !ok {
-		return fmt.Errorf("faasfs: install: no reference for object %d", op.id)
+		return fault.Fatalf("faasfs: install: no reference for object %d", op.id)
 	}
 	var err error
 	if op.dir {

@@ -173,6 +173,19 @@ func Fatal(msg string) error { return classed{msg: msg} }
 // clear on their own — pressure, races, windows mid-reconfiguration.
 func Transient(msg string) error { return classed{msg: msg, retry: true} }
 
+// Fatalf is Fatal with fmt.Sprintf formatting, for dynamic error text
+// that must still carry a non-retryable classification. When the
+// arguments include an error to preserve, prefer fmt.Errorf("...: %w",
+// err) around a classified sentinel instead — Fatalf flattens the chain.
+func Fatalf(format string, args ...any) error {
+	return classed{msg: fmt.Sprintf(format, args...)}
+}
+
+// Transientf is Transient with fmt.Sprintf formatting; see Fatalf.
+func Transientf(format string, args ...any) error {
+	return classed{msg: fmt.Sprintf(format, args...), retry: true}
+}
+
 // Retryable is the substrate-level error classifier: injected faults,
 // timeouts, and node/capacity transients are retryable; everything else
 // (not-found, invalid refs, capability denials, handler bugs) is fatal.

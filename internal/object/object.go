@@ -13,8 +13,9 @@ package object
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"errors"
 	"fmt"
+
+	"repro/internal/fault"
 )
 
 // ID identifies an object. IDs are allocated by stores and never reused.
@@ -124,21 +125,21 @@ func (m Mutability) CacheStable() bool { return m == Immutable || m == AppendOnl
 
 // Errors returned by object operations.
 var (
-	ErrImmutable      = errors.New("object: write to immutable object")
-	ErrAppendOnly     = errors.New("object: overwrite of append-only content")
-	ErrFixedSize      = errors.New("object: resize of fixed-size object")
-	ErrBadTransition  = errors.New("object: mutability transition not allowed")
-	ErrOutOfRange     = errors.New("object: offset out of range")
-	ErrWrongKind      = errors.New("object: operation not supported for kind")
-	ErrFIFOEmpty      = errors.New("object: fifo empty")
-	ErrExists         = errors.New("object: directory entry exists")
-	ErrNotFound       = errors.New("object: not found")
-	ErrNotEmpty       = errors.New("object: directory not empty")
-	ErrInvalidName    = errors.New("object: invalid entry name")
-	ErrDeviceNoDriver = errors.New("object: device has no driver")
-	ErrSockClosed     = errors.New("object: socket closed")
-	ErrSockEmpty      = errors.New("object: socket direction empty")
-	ErrBadEnd         = errors.New("object: socket end must be 0 (client) or 1 (server)")
+	ErrImmutable      = fault.Fatal("object: write to immutable object")
+	ErrAppendOnly     = fault.Fatal("object: overwrite of append-only content")
+	ErrFixedSize      = fault.Fatal("object: resize of fixed-size object")
+	ErrBadTransition  = fault.Fatal("object: mutability transition not allowed")
+	ErrOutOfRange     = fault.Fatal("object: offset out of range")
+	ErrWrongKind      = fault.Fatal("object: operation not supported for kind")
+	ErrFIFOEmpty      = fault.Fatal("object: fifo empty")
+	ErrExists         = fault.Fatal("object: directory entry exists")
+	ErrNotFound       = fault.Fatal("object: not found")
+	ErrNotEmpty       = fault.Fatal("object: directory not empty")
+	ErrInvalidName    = fault.Fatal("object: invalid entry name")
+	ErrDeviceNoDriver = fault.Fatal("object: device has no driver")
+	ErrSockClosed     = fault.Fatal("object: socket closed")
+	ErrSockEmpty      = fault.Fatal("object: socket direction empty")
+	ErrBadEnd         = fault.Fatal("object: socket end must be 0 (client) or 1 (server)")
 )
 
 // SockState is a socket object's connection state.

@@ -8,18 +8,18 @@
 package store
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/media"
 	"repro/internal/object"
 )
 
 // Errors returned by the store.
 var (
-	ErrNotFound = errors.New("store: object not found")
-	ErrQuota    = errors.New("store: quota exceeded")
+	ErrNotFound = fault.Fatal("store: object not found")
+	ErrQuota    = fault.Fatal("store: quota exceeded")
 )
 
 // Store is a single node's object store.
